@@ -1,0 +1,38 @@
+//! Criterion benches of end-to-end inference: static full-window vs.
+//! dynamic-timestep on easy and hard inputs — the latency face of Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtsnn_core::{static_inference, DynamicInference, ExitPolicy};
+use dtsnn_snn::{vgg_small, ModelConfig};
+use dtsnn_tensor::{Tensor, TensorRng};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(1);
+    let cfg = ModelConfig::default();
+    let mut net = vgg_small(&cfg, &mut rng).expect("valid model config");
+    let frame = Tensor::randn(&[3, 16, 16], 0.5, 0.3, &mut rng);
+    let frames = vec![frame];
+
+    c.bench_function("static_inference_T4", |b| {
+        b.iter(|| static_inference(&mut net, std::hint::black_box(&frames), 4).unwrap())
+    });
+    c.bench_function("static_inference_T1", |b| {
+        b.iter(|| static_inference(&mut net, std::hint::black_box(&frames), 1).unwrap())
+    });
+
+    // an untrained net emits near-uniform logits (entropy ≈ 1), so to
+    // measure the true exit-at-T̂=1 path the gate must always fire: the
+    // max-prob policy with threshold 0 exits at the first timestep
+    let early = DynamicInference::new(ExitPolicy::max_prob(0.0).unwrap(), 4).unwrap();
+    c.bench_function("dtsnn_inference_exit_at_t1", |b| {
+        b.iter(|| early.run(&mut net, std::hint::black_box(&frames)).unwrap())
+    });
+    // strict threshold: always runs the full window (DT-SNN worst case)
+    let late = DynamicInference::new(ExitPolicy::entropy(1e-6).unwrap(), 4).unwrap();
+    c.bench_function("dtsnn_inference_full_window", |b| {
+        b.iter(|| late.run(&mut net, std::hint::black_box(&frames)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

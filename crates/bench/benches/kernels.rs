@@ -1,0 +1,63 @@
+//! Criterion micro-benches for the hot kernels: entropy/softmax (the σ–E
+//! datapath), LIF stepping, conv2d forward, and the crossbar cost model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtsnn_imc::{ChipMapping, CostModel, HardwareConfig, SigmaEModule};
+use dtsnn_snn::{Layer, LifConfig, LifNeuron, Mode};
+use dtsnn_tensor::{conv2d, softmax_rows, Conv2dSpec, Tensor, TensorRng};
+
+fn bench_softmax_entropy(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(1);
+    let logits = Tensor::randn(&[1, 100], 0.0, 2.0, &mut rng);
+    c.bench_function("softmax_rows_100c", |b| {
+        b.iter(|| softmax_rows(std::hint::black_box(&logits)).unwrap())
+    });
+    let module = SigmaEModule::new(&HardwareConfig::default()).unwrap();
+    let raw: Vec<f32> = logits.data().to_vec();
+    c.bench_function("sigma_e_lut_evaluate_100c", |b| {
+        b.iter(|| module.evaluate(std::hint::black_box(&raw), 0.3).unwrap())
+    });
+}
+
+fn bench_lif_step(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(2);
+    let input = Tensor::randn(&[32, 4096], 0.5, 0.5, &mut rng);
+    c.bench_function("lif_step_32x4096", |b| {
+        b.iter_batched(
+            || LifNeuron::new(LifConfig::default()),
+            |mut lif| lif.forward(std::hint::black_box(&input), Mode::Eval).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(3);
+    let spec = Conv2dSpec::new(32, 64, 3, 1, 1).unwrap();
+    let x = Tensor::randn(&[1, 32, 16, 16], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn(&[64, spec.patch_len()], 0.0, 0.1, &mut rng);
+    c.bench_function("conv2d_32to64_16px", |b| {
+        b.iter(|| conv2d(std::hint::black_box(&x), &w, None, &spec).unwrap())
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let config = HardwareConfig::default();
+    let geometry = dtsnn_snn::vgg16_geometry(32, 3, 10);
+    let mapping = ChipMapping::map(&geometry, &config).unwrap();
+    let model = CostModel::new(mapping, config).unwrap();
+    let mut densities = vec![0.2f32; geometry.len()];
+    densities[0] = 1.0;
+    c.bench_function("vgg16_timestep_energy", |b| {
+        b.iter(|| model.timestep_energy(std::hint::black_box(&densities)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_softmax_entropy,
+    bench_lif_step,
+    bench_conv2d,
+    bench_cost_model
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Extension — is entropy actually a trustworthy exit signal?
+//!
+//! Sec. III-A justifies Eq. 8 by citing Guo et al. \[5\]: "the prediction
+//! accuracy is highly correlated with entropy". This binary measures that
+//! premise on our trained models: a reliability diagram (accuracy per
+//! first-timestep entropy bin) and the point-biserial correlation between
+//! entropy and correctness. A strongly negative correlation and a
+//! monotonically falling diagram validate the exit rule.
+
+use dtsnn_bench::{print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_core::{
+    reliability_bins, score_correctness_correlation, DynamicInference, ExitPolicy,
+};
+use dtsnn_data::Preset;
+use dtsnn_snn::LossKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = ExpConfig::from_env();
+    let t_max = 4;
+    let dataset = Preset::Cifar10.generate(exp.scale, exp.seed)?;
+    eprintln!("[ext-cal] training VGG* (Eq. 10)…");
+    let (mut net, _, _) = train_model(&dataset, Arch::Vgg, LossKind::PerTimestep, t_max, &exp)?;
+
+    // θ = 1 exits at the first timestep for any non-uniform output, so the
+    // outcome's prediction and score both describe t = 1.
+    let runner = DynamicInference::new(ExitPolicy::entropy(1.0)?, t_max)?;
+    let mut scores = Vec::new();
+    let mut corrects = Vec::new();
+    for (sample, &label) in dataset.test.samples.iter().zip(&dataset.test.labels()) {
+        let out = runner.run(&mut net, &sample.frames)?;
+        scores.push(out.scores[0]);
+        corrects.push(out.prediction == label);
+    }
+    let bins = reliability_bins(&scores, &corrects, 5)?;
+    let mut rows = Vec::new();
+    for b in &bins {
+        rows.push(vec![
+            format!("[{:.1}, {:.1})", b.lo, b.hi),
+            format!("{}", b.count),
+            if b.accuracy.is_nan() { "-".into() } else { format!("{:.1}%", b.accuracy * 100.0) },
+        ]);
+    }
+    print_table(
+        "Extension: reliability diagram — accuracy per first-timestep entropy bin",
+        &["entropy bin", "samples", "accuracy"],
+        &rows,
+    );
+    let r = score_correctness_correlation(&scores, &corrects)?;
+    println!("\npoint-biserial correlation(entropy, correct) = {r:.3}");
+    println!("premise (Guo et al. [5]): strongly negative — low entropy ⇒ correct prediction");
+
+    // sanity: low-entropy bins should be at least as accurate as high ones
+    let first_valid = bins.iter().find(|b| !b.accuracy.is_nan());
+    let last_valid = bins.iter().rev().find(|b| !b.accuracy.is_nan());
+    if let (Some(lo), Some(hi)) = (first_valid, last_valid) {
+        if lo.lo < hi.lo {
+            println!(
+                "lowest-entropy bin accuracy {:.1}% vs highest-entropy bin {:.1}%",
+                lo.accuracy * 100.0,
+                hi.accuracy * 100.0
+            );
+        }
+    }
+    let json = serde_json::json!({
+        "correlation": r,
+        "bins": bins.iter().map(|b| serde_json::json!({
+            "lo": b.lo, "hi": b.hi, "count": b.count,
+            "accuracy": if b.accuracy.is_nan() { None } else { Some(b.accuracy) },
+        })).collect::<Vec<_>>(),
+    });
+    let path = write_json("ext_calibration", &json)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

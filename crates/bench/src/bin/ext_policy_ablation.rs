@@ -1,0 +1,120 @@
+//! Extension ablation (beyond the paper): which confidence measure should
+//! gate the exit — normalized entropy (the paper's Eq. 7), maximum softmax
+//! probability, or top-2 margin? Also ablates the LIF reset mode.
+//!
+//! Each policy is swept over thresholds; reported is the best operating
+//! point at iso-accuracy with the full-window baseline, mirroring DESIGN.md
+//! §5's ablation list.
+
+use dtsnn_bench::{model_config_for, print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy, StaticEvaluation};
+use dtsnn_data::Preset;
+use dtsnn_snn::{LifConfig, LossKind, ResetMode, SgdConfig, Trainer, TrainerConfig};
+use dtsnn_tensor::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = ExpConfig::from_env();
+    let t_max = 4;
+    let dataset = Preset::Cifar10.generate(exp.scale, exp.seed)?;
+    let frames = dataset.test.frames();
+    let labels = dataset.test.labels();
+
+    eprintln!("[ext] training VGG* (Eq. 10)…");
+    let (mut net, _, _) = train_model(&dataset, Arch::Vgg, LossKind::PerTimestep, t_max, &exp)?;
+    let static_eval = StaticEvaluation::run(&mut net, &frames, &labels, t_max)?;
+    let target = static_eval.full_window_accuracy();
+    println!("full-window static accuracy: {:.2}%", target * 100.0);
+
+    // ---- policy family ablation --------------------------------------------
+    let entropy_thetas = [0.02f32, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let prob_thresholds = [0.5f32, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98];
+    let margin_thresholds = [0.2f32, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut run_family = |name: &str,
+                          policies: Vec<ExitPolicy>|
+     -> Result<(), Box<dyn std::error::Error>> {
+        let mut best: Option<(f32, f32, String)> = None; // (avgT, acc, label)
+        for policy in policies {
+            let runner = DynamicInference::new(policy, t_max)?;
+            let eval = DynamicEvaluation::run_batched(&mut net, &runner, &frames, &labels, None, 32)?;
+            let ok = eval.accuracy >= target - 0.005;
+            if ok && best.as_ref().map(|b| eval.avg_timesteps < b.0).unwrap_or(true) {
+                best = Some((eval.avg_timesteps, eval.accuracy, format!("{policy:?}")));
+            }
+        }
+        let (avg_t, acc, label) =
+            best.unwrap_or((t_max as f32, target, "no iso-accuracy point".into()));
+        rows.push(vec![
+            name.to_string(),
+            format!("{avg_t:.2}"),
+            format!("{:.2}%", acc * 100.0),
+            label.clone(),
+        ]);
+        json.push(serde_json::json!({
+            "policy": name, "avg_timesteps": avg_t, "accuracy": acc, "best": label,
+        }));
+        Ok(())
+    };
+    run_family(
+        "entropy (paper)",
+        entropy_thetas.iter().map(|&t| ExitPolicy::entropy(t).expect("valid θ")).collect(),
+    )?;
+    run_family(
+        "max-prob",
+        prob_thresholds.iter().map(|&t| ExitPolicy::max_prob(t).expect("valid p")).collect(),
+    )?;
+    run_family(
+        "margin",
+        margin_thresholds.iter().map(|&t| ExitPolicy::margin(t).expect("valid m")).collect(),
+    )?;
+    print_table(
+        "Extension: exit-policy ablation (iso-accuracy avg timesteps, lower is better)",
+        &["policy", "avg T̂", "acc", "best setting"],
+        &rows,
+    );
+
+    // ---- reset-mode ablation ------------------------------------------------
+    let mut rows_r = Vec::new();
+    let mut json_r = Vec::new();
+    for reset in [ResetMode::Zero, ResetMode::Subtract] {
+        let mut cfg = model_config_for(&dataset);
+        cfg.lif = LifConfig { reset, ..LifConfig::default() };
+        let mut rng = TensorRng::seed_from(exp.seed);
+        let mut rnet = Arch::Vgg.build(&cfg, &mut rng)?;
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: exp.epochs,
+            batch_size: 32,
+            timesteps: t_max,
+            loss: LossKind::PerTimestep,
+            sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4 },
+            seed: exp.seed ^ 0xBEEF,
+        })?;
+        trainer.fit(&mut rnet, &dataset.train.frames(), &dataset.train.labels())?;
+        let eval = StaticEvaluation::run(&mut rnet, &frames, &labels, t_max)?;
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.3)?, t_max)?;
+        let dyn_eval = DynamicEvaluation::run_batched(&mut rnet, &runner, &frames, &labels, None, 32)?;
+        rows_r.push(vec![
+            format!("{reset:?}"),
+            format!("{:.2}%", eval.full_window_accuracy() * 100.0),
+            format!("{:.2}% @T̂={:.2}", dyn_eval.accuracy * 100.0, dyn_eval.avg_timesteps),
+        ]);
+        json_r.push(serde_json::json!({
+            "reset": format!("{reset:?}"),
+            "static_accuracy": eval.full_window_accuracy(),
+            "dtsnn_accuracy": dyn_eval.accuracy,
+            "dtsnn_avg_timesteps": dyn_eval.avg_timesteps,
+        }));
+    }
+    print_table(
+        "Extension: LIF reset-mode ablation",
+        &["reset", "static acc @T=4", "DT-SNN θ=0.3"],
+        &rows_r,
+    );
+    let path = write_json(
+        "ext_policy_ablation",
+        &serde_json::json!({"policies": json, "reset_modes": json_r}),
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

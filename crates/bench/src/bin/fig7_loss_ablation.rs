@@ -1,0 +1,71 @@
+//! Fig. 7 — ablation of the training loss: Eq. 9 (final-output CE) vs.
+//! Eq. 10 (per-timestep CE), compared through accuracy–EDP curves.
+//!
+//! The paper finds Eq. 10 lifts accuracy at *every* budget (T=1 jumps from
+//! 76.3% → 91.5% on CIFAR-10 VGG-16), which shifts the DT-SNN timestep
+//! distribution toward T̂ = 1 and cuts EDP.
+
+use dtsnn_bench::{
+    hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig,
+};
+use dtsnn_core::ThresholdSweep;
+use dtsnn_data::Preset;
+use dtsnn_snn::LossKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = ExpConfig::from_env();
+    let t_max = 4;
+    let thetas = [0.1f32, 0.3, 0.7];
+    let dataset = Preset::Cifar10.generate(exp.scale, exp.seed)?;
+    let frames = dataset.test.frames();
+    let labels = dataset.test.labels();
+    let mut json = Vec::new();
+    let mut base_edp = f64::NAN;
+    for loss in [LossKind::MeanOutput, LossKind::PerTimestep] {
+        eprintln!("[fig7] training VGG* with {}…", loss.name());
+        let (mut net, _, model_cfg) = train_model(&dataset, Arch::Vgg, loss, t_max, &exp)?;
+        let profile = hardware_profile_for(Arch::Vgg, &model_cfg)?;
+        let sweep = ThresholdSweep::run(&mut net, &frames, &labels, &thetas, t_max, &profile)?;
+        if base_edp.is_nan() {
+            base_edp = sweep.baseline_edp();
+        }
+        let mut rows = Vec::new();
+        for p in sweep.static_points.iter().chain(&sweep.dynamic_points) {
+            let dist = if p.timestep_distribution.is_empty() {
+                "-".to_string()
+            } else {
+                p.timestep_distribution
+                    .iter()
+                    .map(|f| format!("{:.0}%", f * 100.0))
+                    .collect::<Vec<_>>()
+                    .join("/")
+            };
+            rows.push(vec![
+                p.label.clone(),
+                format!("{:.2}%", p.accuracy * 100.0),
+                format!("{:.2}", p.avg_timesteps),
+                format!("{:.2}×", p.edp / base_edp),
+                dist,
+            ]);
+        }
+        print_table(
+            &format!("Fig. 7: accuracy vs EDP — loss = {}", loss.name()),
+            &["point", "acc", "avg T", "EDP (vs Eq.9 static T=1)", "T̂ dist"],
+            &rows,
+        );
+        json.push(serde_json::json!({
+            "loss": loss.name(),
+            "static": sweep.static_points.iter().map(|p| serde_json::json!({
+                "label": p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
+            })).collect::<Vec<_>>(),
+            "dynamic": sweep.dynamic_points.iter().map(|p| serde_json::json!({
+                "label": p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
+                "avg_timesteps": p.avg_timesteps, "distribution": p.timestep_distribution,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+    println!("\npaper: Eq. 10 lifts accuracy at every T (T=1: 76.3% → 91.5%) and shifts T̂ toward 1");
+    let path = write_json("fig7_loss_ablation", &serde_json::Value::Array(json))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

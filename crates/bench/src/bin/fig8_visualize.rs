@@ -1,0 +1,63 @@
+//! Fig. 8 — visualization of inputs DT-SNN classifies at T̂ = 1 (easy) vs.
+//! T̂ = T (hard).
+//!
+//! With a strict threshold, only the cleanest samples exit at the first
+//! timestep while corrupted ones run the full window. The binary prints
+//! ASCII renderings of both buckets and checks the mean synthesis-time
+//! difficulty is lower in the early-exit bucket.
+
+use dtsnn_bench::{train_model, write_json, Arch, ExpConfig};
+use dtsnn_core::{ascii_render, bucket_by_timesteps, DynamicEvaluation, DynamicInference, ExitPolicy};
+use dtsnn_data::Preset;
+use dtsnn_snn::LossKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = ExpConfig::from_env();
+    let t_max = 4;
+    // The paper visualizes TinyImageNet; at our CPU training budget the
+    // 20-class stand-in underfits (uniformly high entropy, no early exits),
+    // so the visualization uses the well-trained CIFAR-10* model instead —
+    // the easy/hard contrast is the same phenomenon.
+    let dataset = Preset::Cifar10.generate(exp.scale, exp.seed)?;
+    eprintln!("[fig8] training VGG*…");
+    let (mut net, _, _) = train_model(&dataset, Arch::Vgg, LossKind::PerTimestep, t_max, &exp)?;
+    // low threshold: only the easiest samples exit at T̂ = 1 (paper Sec. IV-D)
+    let runner = DynamicInference::new(ExitPolicy::entropy(0.2)?, t_max)?;
+    let frames = dataset.test.frames();
+    let labels = dataset.test.labels();
+    let difficulties = dataset.test.difficulties();
+    let eval = DynamicEvaluation::run_batched(&mut net, &runner, &frames, &labels, Some(&difficulties), 32)?;
+    let buckets = bucket_by_timesteps(&eval.samples, t_max);
+
+    let mean_difficulty = |idx: &[usize]| -> f32 {
+        if idx.is_empty() {
+            return f32::NAN;
+        }
+        idx.iter().map(|&i| difficulties[i]).sum::<f32>() / idx.len() as f32
+    };
+    println!("T̂ histogram: {:?}", eval.timestep_histogram);
+    println!(
+        "mean difficulty — T̂=1 bucket: {:.3} | T̂={t_max} bucket: {:.3}",
+        mean_difficulty(&buckets[0]),
+        mean_difficulty(&buckets[t_max - 1]),
+    );
+    println!("\n--- samples inferred at T̂ = 1 (easy) ---");
+    for &i in buckets[0].iter().take(3) {
+        println!("label {}  difficulty {:.2}", labels[i], difficulties[i]);
+        println!("{}", ascii_render(&dataset.test.samples[i].frames[0]));
+    }
+    println!("--- samples inferred at T̂ = {t_max} (hard) ---");
+    for &i in buckets[t_max - 1].iter().take(3) {
+        println!("label {}  difficulty {:.2}", labels[i], difficulties[i]);
+        println!("{}", ascii_render(&dataset.test.samples[i].frames[0]));
+    }
+    let json = serde_json::json!({
+        "histogram": eval.timestep_histogram,
+        "mean_difficulty_t1": mean_difficulty(&buckets[0]),
+        "mean_difficulty_tmax": mean_difficulty(&buckets[t_max - 1]),
+    });
+    let path = write_json("fig8_visualize", &json)?;
+    println!("paper: easy bucket = clean centred objects; hard bucket = corrupted/occluded");
+    println!("wrote {}", path.display());
+    Ok(())
+}

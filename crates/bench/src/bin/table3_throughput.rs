@@ -1,0 +1,68 @@
+//! Table III — inference throughput on a general processor.
+//!
+//! The paper measures images/s on an RTX 2080Ti at batch size 1; here the
+//! same protocol runs on the CPU with this crate's engine (documented
+//! substitution in DESIGN.md). The claim shape is preserved: throughput
+//! drops roughly linearly with T, while DT-SNN recovers most of the
+//! 1-timestep throughput at full-window accuracy.
+
+use dtsnn_bench::{print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_core::{measure_dynamic_throughput, measure_throughput, DynamicInference, ExitPolicy};
+use dtsnn_data::Preset;
+use dtsnn_snn::LossKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = ExpConfig::from_env();
+    let t_max = 4;
+    let preset = Preset::Cifar10;
+    let dataset = preset.generate(exp.scale, exp.seed)?;
+    let frames = dataset.test.frames();
+    let labels = dataset.test.labels();
+    let thetas = [0.7f32, 0.3, 0.1];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for arch in Arch::all() {
+        eprintln!("[table3] training {} …", arch.name());
+        let (mut net, _, _) = train_model(&dataset, arch, LossKind::PerTimestep, t_max, &exp)?;
+        for t in 1..=t_max {
+            let r = measure_throughput(&mut net, &frames, &labels, t)?;
+            rows.push(vec![
+                arch.name().into(),
+                r.label.clone(),
+                format!("{:.2}", r.avg_timesteps),
+                format!("{:.2}%", r.accuracy * 100.0),
+                format!("{:.1}", r.images_per_second),
+            ]);
+            json.push(serde_json::json!({
+                "arch": arch.name(), "method": r.label,
+                "avg_timesteps": r.avg_timesteps, "accuracy": r.accuracy,
+                "images_per_second": r.images_per_second,
+            }));
+        }
+        for &theta in &thetas {
+            let runner = DynamicInference::new(ExitPolicy::entropy(theta)?, t_max)?;
+            let r = measure_dynamic_throughput(&mut net, &runner, &frames, &labels)?;
+            rows.push(vec![
+                arch.name().into(),
+                format!("DT-SNN θ={theta}"),
+                format!("{:.2}", r.avg_timesteps),
+                format!("{:.2}%", r.accuracy * 100.0),
+                format!("{:.1}", r.images_per_second),
+            ]);
+            json.push(serde_json::json!({
+                "arch": arch.name(), "method": format!("DT-SNN θ={theta}"),
+                "avg_timesteps": r.avg_timesteps, "accuracy": r.accuracy,
+                "images_per_second": r.images_per_second,
+            }));
+        }
+    }
+    print_table(
+        "Table III: throughput on a general processor (CPU, batch 1)",
+        &["model", "method", "T", "acc", "img/s"],
+        &rows,
+    );
+    println!("\npaper: throughput falls with T; DT-SNN ≈ T=1 throughput at T=4 accuracy");
+    let path = write_json("table3_throughput", &serde_json::Value::Array(json))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

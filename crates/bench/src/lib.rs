@@ -1,0 +1,231 @@
+//! Shared experiment harness for the per-figure/table binaries in
+//! `src/bin/` and the Criterion micro-benches in `benches/`.
+//!
+//! Every binary regenerates one table or figure of the paper; see
+//! `DESIGN.md` for the experiment index. Set `DTSNN_SCALE` (default 1) to
+//! grow the synthetic corpora and `DTSNN_EPOCHS` to override training
+//! length; results are printed as aligned tables and written as JSON under
+//! `bench-results/`.
+
+use dtsnn_core::HardwareProfile;
+use dtsnn_data::Dataset;
+use dtsnn_imc::HardwareConfig;
+use dtsnn_snn::{
+    resnet_small, resnet_small_density_map, resnet_small_geometry, vgg_small,
+    vgg_small_density_map, vgg_small_geometry, DensitySource, LayerGeometry, LifConfig, LossKind,
+    ModelConfig, SgdConfig, Snn, TrainReport, Trainer, TrainerConfig,
+};
+use dtsnn_tensor::TensorRng;
+use std::path::PathBuf;
+
+/// Backbone selector mirroring the paper's VGG-16 / ResNet-19 pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Scaled spiking VGG.
+    Vgg,
+    /// Scaled spiking ResNet.
+    ResNet,
+}
+
+impl Arch {
+    /// Display name (paper nomenclature, starred as scaled stand-ins).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::Vgg => "VGG*",
+            Arch::ResNet => "ResNet*",
+        }
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn build(&self, config: &ModelConfig, rng: &mut TensorRng) -> dtsnn_snn::Result<Snn> {
+        match self {
+            Arch::Vgg => vgg_small(config, rng),
+            Arch::ResNet => resnet_small(config, rng),
+        }
+    }
+
+    /// Layer geometries for the IMC mapper.
+    pub fn geometry(&self, config: &ModelConfig) -> Vec<LayerGeometry> {
+        match self {
+            Arch::Vgg => vgg_small_geometry(config),
+            Arch::ResNet => resnet_small_geometry(config),
+        }
+    }
+
+    /// Input-density provenance aligned with [`Arch::geometry`].
+    pub fn density_map(&self) -> Vec<DensitySource> {
+        match self {
+            Arch::Vgg => vgg_small_density_map(),
+            Arch::ResNet => resnet_small_density_map(),
+        }
+    }
+
+    /// Both backbones.
+    pub fn all() -> [Arch; 2] {
+        [Arch::Vgg, Arch::ResNet]
+    }
+}
+
+/// Experiment-wide knobs, read from the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpConfig {
+    /// Corpus scale multiplier (`DTSNN_SCALE`, default 1).
+    pub scale: usize,
+    /// Training epochs (`DTSNN_EPOCHS`, default 20).
+    pub epochs: usize,
+    /// Base RNG seed (`DTSNN_SEED`, default 7).
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { scale: 1, epochs: 20, seed: 7 }
+    }
+}
+
+impl ExpConfig {
+    /// Reads `DTSNN_SCALE` / `DTSNN_EPOCHS` / `DTSNN_SEED` from the
+    /// environment, falling back to defaults.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: usize| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        ExpConfig {
+            scale: get("DTSNN_SCALE", 1).max(1),
+            epochs: get("DTSNN_EPOCHS", 20).max(1),
+            seed: get("DTSNN_SEED", 7) as u64,
+        }
+    }
+}
+
+/// Model hyperparameters matched to a dataset.
+pub fn model_config_for(dataset: &Dataset) -> ModelConfig {
+    ModelConfig {
+        in_channels: dataset.channels,
+        image_size: dataset.image_size,
+        num_classes: dataset.classes,
+        lif: LifConfig { v_th: 1.0, tau: 0.75, ..LifConfig::default() },
+        width: 32,
+        // α = 1 with the high-similarity datasets reproduces the paper's
+        // accuracy-vs-T shape (probe-calibrated; see DESIGN.md §6)
+        tdbn_alpha: 1.0,
+        dropout: 0.0,
+    }
+}
+
+/// Trains `arch` on `dataset` with the given loss over `timesteps`.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn train_model(
+    dataset: &Dataset,
+    arch: Arch,
+    loss: LossKind,
+    timesteps: usize,
+    exp: &ExpConfig,
+) -> dtsnn_snn::Result<(Snn, TrainReport, ModelConfig)> {
+    let model_cfg = model_config_for(dataset);
+    let mut rng = TensorRng::seed_from(exp.seed);
+    let mut net = arch.build(&model_cfg, &mut rng)?;
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: exp.epochs,
+        batch_size: 32,
+        timesteps,
+        loss,
+        sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4 },
+        seed: exp.seed ^ 0xBEEF,
+    })?;
+    let report = trainer.fit(&mut net, &dataset.train.frames(), &dataset.train.labels())?;
+    Ok((net, report, model_cfg))
+}
+
+/// Builds the hardware profile for a trained model.
+///
+/// # Errors
+///
+/// Propagates mapping errors.
+pub fn hardware_profile_for(
+    arch: Arch,
+    model_cfg: &ModelConfig,
+) -> dtsnn_core::Result<HardwareProfile> {
+    HardwareProfile::new(
+        &arch.geometry(model_cfg),
+        arch.density_map(),
+        model_cfg.num_classes,
+        &HardwareConfig::default(),
+    )
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes a JSON result document under `bench-results/`.
+///
+/// # Errors
+///
+/// Returns I/O errors from the filesystem.
+pub fn write_json(name: &str, value: &serde_json::Value) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("bench-results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_config_defaults() {
+        let c = ExpConfig::default();
+        assert_eq!(c.scale, 1);
+        assert!(c.epochs > 0);
+    }
+
+    #[test]
+    fn arch_metadata() {
+        assert_ne!(Arch::Vgg.name(), Arch::ResNet.name());
+        for arch in Arch::all() {
+            let cfg = ModelConfig::default();
+            assert_eq!(arch.geometry(&cfg).len(), arch.density_map().len());
+        }
+    }
+
+    #[test]
+    fn model_config_tracks_dataset() {
+        let ds = dtsnn_data::cifar10_like(1, 1).unwrap();
+        let mc = model_config_for(&ds);
+        assert_eq!(mc.num_classes, 10);
+        assert_eq!(mc.in_channels, 3);
+        assert_eq!(mc.image_size, 16);
+    }
+}

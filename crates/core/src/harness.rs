@@ -1,0 +1,391 @@
+//! Dataset-level evaluation harnesses: the machinery behind Table II,
+//! Fig. 2, Fig. 4 and the pie charts of Fig. 5.
+
+use crate::inference::DynamicInference;
+use crate::{CoreError, Result};
+use dtsnn_snn::{Mode, Snn, SpikeActivity};
+use dtsnn_tensor::Tensor;
+
+/// Per-sample record of a dynamic evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicSampleOutcome {
+    /// Timesteps the sample consumed.
+    pub timesteps_used: usize,
+    /// Whether the prediction was correct.
+    pub correct: bool,
+    /// Synthesis-time difficulty of the sample (NaN when unknown).
+    pub difficulty: f32,
+}
+
+/// Aggregate result of evaluating DT-SNN over a dataset split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicEvaluation {
+    /// Top-1 accuracy.
+    pub accuracy: f32,
+    /// Mean T̂ over the split (the paper's headline "average timesteps").
+    pub avg_timesteps: f32,
+    /// `histogram[t-1]` = number of samples that exited at timestep `t`.
+    pub timestep_histogram: Vec<usize>,
+    /// Per-sample outcomes, aligned with the input order.
+    pub samples: Vec<DynamicSampleOutcome>,
+    /// Spike activity accumulated during the evaluation (drives the energy
+    /// model).
+    pub activity: SpikeActivity,
+}
+
+impl DynamicEvaluation {
+    /// Runs the dynamic-timestep evaluation.
+    ///
+    /// `difficulties`, when provided, must align with `frames` and is copied
+    /// into the per-sample outcomes (used by the Fig. 8 visualization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] for mismatched inputs.
+    pub fn run(
+        network: &mut Snn,
+        runner: &DynamicInference,
+        frames: &[Vec<Tensor>],
+        labels: &[usize],
+        difficulties: Option<&[f32]>,
+    ) -> Result<Self> {
+        if frames.is_empty() || frames.len() != labels.len() {
+            return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
+        }
+        if let Some(d) = difficulties {
+            if d.len() != frames.len() {
+                return Err(CoreError::BadInput("difficulties length mismatch".into()));
+            }
+        }
+        // discard any previously accumulated activity
+        let _ = network.take_activity();
+        let mut histogram = vec![0usize; runner.max_timesteps()];
+        let mut samples = Vec::with_capacity(frames.len());
+        let mut correct_total = 0usize;
+        let mut timestep_total = 0usize;
+        for (i, (sample_frames, &label)) in frames.iter().zip(labels).enumerate() {
+            let outcome = runner.run(network, sample_frames)?;
+            let correct = outcome.prediction == label;
+            correct_total += correct as usize;
+            timestep_total += outcome.timesteps_used;
+            histogram[outcome.timesteps_used - 1] += 1;
+            samples.push(DynamicSampleOutcome {
+                timesteps_used: outcome.timesteps_used,
+                correct,
+                difficulty: difficulties.map(|d| d[i]).unwrap_or(f32::NAN),
+            });
+        }
+        let n = frames.len() as f32;
+        Ok(DynamicEvaluation {
+            accuracy: correct_total as f32 / n,
+            avg_timesteps: timestep_total as f32 / n,
+            timestep_histogram: histogram,
+            samples,
+            activity: network.take_activity(),
+        })
+    }
+
+    /// Batched variant of [`DynamicEvaluation::run`]: forwards whole batches
+    /// for the full window and derives each sample's exit timestep from the
+    /// per-timestep logits offline.
+    ///
+    /// Because evaluation is deterministic, the per-sample outcomes are
+    /// **identical** to the sequential runner's — batching only changes
+    /// wall-clock cost. Two caveats: spike activity is measured over the
+    /// full window for every sample (the sequential path stops measuring at
+    /// each sample's exit), and compute is not actually saved, so use the
+    /// sequential path for wall-clock throughput claims (Table III).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] for mismatched inputs.
+    pub fn run_batched(
+        network: &mut Snn,
+        runner: &DynamicInference,
+        frames: &[Vec<Tensor>],
+        labels: &[usize],
+        difficulties: Option<&[f32]>,
+        batch_size: usize,
+    ) -> Result<Self> {
+        if frames.is_empty() || frames.len() != labels.len() {
+            return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
+        }
+        if let Some(d) = difficulties {
+            if d.len() != frames.len() {
+                return Err(CoreError::BadInput("difficulties length mismatch".into()));
+            }
+        }
+        if batch_size == 0 {
+            return Err(CoreError::BadInput("batch_size must be nonzero".into()));
+        }
+        let t_max = runner.max_timesteps();
+        let policy = runner.policy();
+        let _ = network.take_activity();
+        let mut histogram = vec![0usize; t_max];
+        let mut samples = Vec::with_capacity(frames.len());
+        let mut correct_total = 0usize;
+        let mut timestep_total = 0usize;
+        let order: Vec<usize> = (0..frames.len()).collect();
+        for chunk in order.chunks(batch_size) {
+            // stack this batch's frames per timestep
+            let t_frames = frames[chunk[0]].len();
+            for &i in chunk {
+                if frames[i].len() != t_frames {
+                    return Err(CoreError::BadInput(
+                        "mixed static/temporal samples in one batch".into(),
+                    ));
+                }
+            }
+            let mut batch_frames = Vec::with_capacity(t_frames);
+            for t in 0..t_frames {
+                let views: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| {
+                        let f = &frames[i][t];
+                        let mut d = vec![1];
+                        d.extend_from_slice(f.dims());
+                        f.reshape(&d).map_err(CoreError::from)
+                    })
+                    .collect::<Result<_>>()?;
+                let refs: Vec<&Tensor> = views.iter().collect();
+                batch_frames.push(Tensor::concat_axis0(&refs)?);
+            }
+            let outputs = network.forward_sequence(&batch_frames, t_max, Mode::Eval)?;
+            let classes = outputs[0].dims()[1];
+            // per-sample running means → exit decision, offline
+            for (row, &i) in chunk.iter().enumerate() {
+                let mut acc = vec![0.0f32; classes];
+                let mut decided = None;
+                for (t, out) in outputs.iter().enumerate() {
+                    let logits = &out.data()[row * classes..(row + 1) * classes];
+                    for (a, &l) in acc.iter_mut().zip(logits) {
+                        *a += l;
+                    }
+                    let f_t: Vec<f32> = acc.iter().map(|a| a / (t + 1) as f32).collect();
+                    let f_t = Tensor::from_vec(f_t, &[1, classes])?;
+                    let probs = dtsnn_tensor::softmax_rows(&f_t)?;
+                    if policy.should_exit(probs.data()) || t + 1 == t_max {
+                        let pred = probs.row(0)?.argmax()?;
+                        decided = Some((t + 1, pred));
+                        break;
+                    }
+                }
+                let (used, pred) = decided.expect("loop decides by t_max");
+                let correct = pred == labels[i];
+                correct_total += correct as usize;
+                timestep_total += used;
+                histogram[used - 1] += 1;
+                samples.push(DynamicSampleOutcome {
+                    timesteps_used: used,
+                    correct,
+                    difficulty: difficulties.map(|d| d[i]).unwrap_or(f32::NAN),
+                });
+            }
+        }
+        let n = frames.len() as f32;
+        Ok(DynamicEvaluation {
+            accuracy: correct_total as f32 / n,
+            avg_timesteps: timestep_total as f32 / n,
+            timestep_histogram: histogram,
+            samples,
+            activity: network.take_activity(),
+        })
+    }
+
+    /// T̂ distribution as fractions (the Fig. 5 pie chart).
+    pub fn timestep_distribution(&self) -> Vec<f32> {
+        let n: usize = self.timestep_histogram.iter().sum();
+        self.timestep_histogram
+            .iter()
+            .map(|&c| c as f32 / n.max(1) as f32)
+            .collect()
+    }
+}
+
+/// Aggregate result of evaluating a static SNN at every timestep budget
+/// `t = 1..=T` in a single pass (Fig. 2's accuracy-vs-T curves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticEvaluation {
+    /// `accuracy_by_t[t-1]` = top-1 accuracy using the first `t` timesteps.
+    pub accuracy_by_t: Vec<f32>,
+    /// Spike activity accumulated during the evaluation.
+    pub activity: SpikeActivity,
+}
+
+impl StaticEvaluation {
+    /// Evaluates cumulative accuracy at every `t ≤ max_timesteps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] for mismatched inputs.
+    pub fn run(
+        network: &mut Snn,
+        frames: &[Vec<Tensor>],
+        labels: &[usize],
+        max_timesteps: usize,
+    ) -> Result<Self> {
+        if frames.is_empty() || frames.len() != labels.len() {
+            return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
+        }
+        if max_timesteps == 0 {
+            return Err(CoreError::BadInput("max_timesteps must be nonzero".into()));
+        }
+        let _ = network.take_activity();
+        let mut correct_by_t = vec![0usize; max_timesteps];
+        for (sample_frames, &label) in frames.iter().zip(labels) {
+            let batched: Vec<Tensor> = sample_frames
+                .iter()
+                .map(|f| {
+                    if f.dims().len() == 4 {
+                        Ok(f.clone())
+                    } else {
+                        let mut dims = vec![1];
+                        dims.extend_from_slice(f.dims());
+                        f.reshape(&dims).map_err(CoreError::from)
+                    }
+                })
+                .collect::<Result<_>>()?;
+            let outputs = network.forward_sequence(&batched, max_timesteps, Mode::Eval)?;
+            let mut acc: Option<Tensor> = None;
+            for (t, out) in outputs.iter().enumerate() {
+                match &mut acc {
+                    Some(a) => a.axpy(1.0, out)?,
+                    None => acc = Some(out.clone()),
+                }
+                let pred = acc.as_ref().expect("set above").row(0)?.argmax()?;
+                correct_by_t[t] += (pred == label) as usize;
+            }
+        }
+        let n = frames.len() as f32;
+        Ok(StaticEvaluation {
+            accuracy_by_t: correct_by_t.iter().map(|&c| c as f32 / n).collect(),
+            activity: network.take_activity(),
+        })
+    }
+
+    /// Accuracy at the full window.
+    pub fn full_window_accuracy(&self) -> f32 {
+        self.accuracy_by_t.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExitPolicy;
+    use dtsnn_snn::{Layer, LifConfig, LifNeuron, Linear, Flatten};
+    use dtsnn_tensor::TensorRng;
+
+    fn tiny_net(seed: u64) -> Snn {
+        let mut rng = TensorRng::seed_from(seed);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(LifNeuron::new(LifConfig::default())),
+            Box::new(Linear::new(8, 3, &mut rng)),
+        ];
+        Snn::from_layers(layers)
+    }
+
+    fn tiny_data(n: usize, seed: u64) -> (Vec<Vec<Tensor>>, Vec<usize>) {
+        let mut rng = TensorRng::seed_from(seed);
+        let frames = (0..n).map(|_| vec![Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng)]).collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        (frames, labels)
+    }
+
+    #[test]
+    fn dynamic_eval_bookkeeping() {
+        let (frames, labels) = tiny_data(12, 1);
+        let mut net = tiny_net(2);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.6).unwrap(), 4).unwrap();
+        let eval = DynamicEvaluation::run(&mut net, &runner, &frames, &labels, None).unwrap();
+        assert_eq!(eval.samples.len(), 12);
+        assert_eq!(eval.timestep_histogram.iter().sum::<usize>(), 12);
+        assert!((1.0..=4.0).contains(&eval.avg_timesteps));
+        assert!((0.0..=1.0).contains(&eval.accuracy));
+        let dist = eval.timestep_distribution();
+        assert!((dist.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(eval.activity.observations > 0);
+        assert!(eval.samples.iter().all(|s| s.difficulty.is_nan()));
+    }
+
+    #[test]
+    fn dynamic_eval_validates_inputs() {
+        let (frames, labels) = tiny_data(4, 3);
+        let mut net = tiny_net(4);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.5).unwrap(), 4).unwrap();
+        assert!(DynamicEvaluation::run(&mut net, &runner, &frames, &labels[..2], None).is_err());
+        assert!(
+            DynamicEvaluation::run(&mut net, &runner, &frames, &labels, Some(&[0.5])).is_err()
+        );
+    }
+
+    #[test]
+    fn difficulties_are_recorded() {
+        let (frames, labels) = tiny_data(4, 5);
+        let diffs = [0.1, 0.2, 0.3, 0.4];
+        let mut net = tiny_net(6);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.5).unwrap(), 2).unwrap();
+        let eval =
+            DynamicEvaluation::run(&mut net, &runner, &frames, &labels, Some(&diffs)).unwrap();
+        let got: Vec<f32> = eval.samples.iter().map(|s| s.difficulty).collect();
+        assert_eq!(got, diffs);
+    }
+
+    #[test]
+    fn static_eval_reports_each_budget() {
+        let (frames, labels) = tiny_data(9, 7);
+        let mut net = tiny_net(8);
+        let eval = StaticEvaluation::run(&mut net, &frames, &labels, 4).unwrap();
+        assert_eq!(eval.accuracy_by_t.len(), 4);
+        for a in &eval.accuracy_by_t {
+            assert!((0.0..=1.0).contains(a));
+        }
+        assert_eq!(eval.full_window_accuracy(), eval.accuracy_by_t[3]);
+        assert!(StaticEvaluation::run(&mut net, &frames, &labels, 0).is_err());
+    }
+
+    #[test]
+    fn batched_evaluation_matches_sequential() {
+        // Evaluation is deterministic, so the batched path must reproduce
+        // the per-sample runner's outcomes exactly.
+        let (frames, labels) = tiny_data(13, 21); // odd count exercises a ragged tail batch
+        let diffs: Vec<f32> = (0..13).map(|i| i as f32 / 13.0).collect();
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.55).unwrap(), 4).unwrap();
+        let mut net_a = tiny_net(22);
+        let seq =
+            DynamicEvaluation::run(&mut net_a, &runner, &frames, &labels, Some(&diffs)).unwrap();
+        let mut net_b = tiny_net(22);
+        let bat = DynamicEvaluation::run_batched(
+            &mut net_b, &runner, &frames, &labels, Some(&diffs), 4,
+        )
+        .unwrap();
+        assert_eq!(seq.accuracy, bat.accuracy);
+        assert_eq!(seq.avg_timesteps, bat.avg_timesteps);
+        assert_eq!(seq.timestep_histogram, bat.timestep_histogram);
+        assert_eq!(seq.samples, bat.samples);
+    }
+
+    #[test]
+    fn batched_evaluation_validates_inputs() {
+        let (frames, labels) = tiny_data(4, 23);
+        let mut net = tiny_net(24);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.5).unwrap(), 4).unwrap();
+        assert!(
+            DynamicEvaluation::run_batched(&mut net, &runner, &frames, &labels, None, 0).is_err()
+        );
+        assert!(DynamicEvaluation::run_batched(&mut net, &runner, &frames, &labels[..2], None, 2)
+            .is_err());
+    }
+
+    #[test]
+    fn strict_threshold_forces_full_window() {
+        let (frames, labels) = tiny_data(6, 9);
+        let mut net = tiny_net(10);
+        let runner = DynamicInference::new(ExitPolicy::entropy(1e-7).unwrap(), 3).unwrap();
+        let eval = DynamicEvaluation::run(&mut net, &runner, &frames, &labels, None).unwrap();
+        assert_eq!(eval.avg_timesteps, 3.0);
+        assert_eq!(eval.timestep_histogram, vec![0, 0, 6]);
+    }
+}

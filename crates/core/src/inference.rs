@@ -1,0 +1,236 @@
+//! The per-sample dynamic-timestep runner (Eqs. 5–8).
+
+use crate::policy::ExitPolicy;
+use crate::{CoreError, Result};
+use dtsnn_snn::{Mode, Snn};
+use dtsnn_tensor::{softmax_rows, Tensor};
+
+/// Result of one dynamic inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicOutcome {
+    /// Predicted class (argmax of the accumulated output at exit).
+    pub prediction: usize,
+    /// Timesteps actually executed, `1 ≤ T̂ ≤ T`.
+    pub timesteps_used: usize,
+    /// Whether the policy fired before the full window.
+    pub exited_early: bool,
+    /// Confidence score (entropy for the paper's policy) at each executed
+    /// timestep.
+    pub scores: Vec<f32>,
+    /// Accumulated class probabilities at exit.
+    pub probabilities: Vec<f32>,
+}
+
+/// Dynamic-timestep inference engine bound to an exit policy and a maximum
+/// window `T`.
+///
+/// # Example
+///
+/// See the crate-level example and `examples/quickstart.rs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicInference {
+    policy: ExitPolicy,
+    max_timesteps: usize,
+}
+
+impl DynamicInference {
+    /// Creates a runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `max_timesteps == 0`.
+    pub fn new(policy: ExitPolicy, max_timesteps: usize) -> Result<Self> {
+        if max_timesteps == 0 {
+            return Err(CoreError::InvalidConfig("max_timesteps must be nonzero".into()));
+        }
+        Ok(DynamicInference { policy, max_timesteps })
+    }
+
+    /// The exit policy.
+    pub fn policy(&self) -> &ExitPolicy {
+        &self.policy
+    }
+
+    /// The maximum window `T`.
+    pub fn max_timesteps(&self) -> usize {
+        self.max_timesteps
+    }
+
+    /// Runs one sample (`frames`: one static frame or `T` event frames)
+    /// through `network`, exiting at the first timestep whose accumulated
+    /// output satisfies the policy (Eq. 8), else at `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] for empty or miscounted frames and
+    /// propagates network errors.
+    pub fn run(&self, network: &mut Snn, frames: &[Tensor]) -> Result<DynamicOutcome> {
+        if frames.is_empty() {
+            return Err(CoreError::BadInput("empty frame sequence".into()));
+        }
+        if frames.len() != 1 && frames.len() != self.max_timesteps {
+            return Err(CoreError::BadInput(format!(
+                "expected 1 or {} frames, got {}",
+                self.max_timesteps,
+                frames.len()
+            )));
+        }
+        network.reset_state();
+        let mut accumulated: Option<Tensor> = None;
+        let mut scores = Vec::with_capacity(self.max_timesteps);
+        for t in 1..=self.max_timesteps {
+            let frame = if frames.len() == 1 { &frames[0] } else { &frames[t - 1] };
+            let input = to_batch1(frame)?;
+            let logits = network.forward_timestep(&input, Mode::Eval)?;
+            match &mut accumulated {
+                Some(acc) => acc.axpy(1.0, &logits)?,
+                None => accumulated = Some(logits),
+            }
+            let acc = accumulated.as_ref().expect("accumulated set above");
+            // f_t(x) = running mean of logits (Eq. 5)
+            let f_t = acc.scale(1.0 / t as f32);
+            let probs = softmax_rows(&f_t)?;
+            let score = self.policy.score(probs.data());
+            scores.push(score);
+            let exit = self.policy.should_exit(probs.data());
+            if exit || t == self.max_timesteps {
+                let prediction = probs.row(0)?.argmax()?;
+                return Ok(DynamicOutcome {
+                    prediction,
+                    timesteps_used: t,
+                    exited_early: exit && t < self.max_timesteps,
+                    scores,
+                    probabilities: probs.data().to_vec(),
+                });
+            }
+        }
+        unreachable!("loop always returns at t == max_timesteps")
+    }
+}
+
+/// Runs a sample for exactly `timesteps` steps (the static-SNN protocol),
+/// returning the prediction from the averaged output.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadInput`] for malformed frames.
+pub fn static_inference(
+    network: &mut Snn,
+    frames: &[Tensor],
+    timesteps: usize,
+) -> Result<usize> {
+    if frames.is_empty() {
+        return Err(CoreError::BadInput("empty frame sequence".into()));
+    }
+    let batched: Vec<Tensor> = frames.iter().map(to_batch1).collect::<Result<_>>()?;
+    let outputs = network.forward_sequence(&batched, timesteps, Mode::Eval)?;
+    let mut mean = outputs[0].clone();
+    for o in &outputs[1..] {
+        mean.axpy(1.0, o)?;
+    }
+    Ok(mean.row(0)?.argmax()?)
+}
+
+/// Reshapes a `[c, h, w]` frame to a batch-of-one `[1, c, h, w]` (frames
+/// that already carry a batch axis pass through).
+fn to_batch1(frame: &Tensor) -> Result<Tensor> {
+    if frame.dims().len() == 4 {
+        return Ok(frame.clone());
+    }
+    let mut dims = vec![1];
+    dims.extend_from_slice(frame.dims());
+    Ok(frame.reshape(&dims)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsnn_snn::{Layer, LifConfig, LifNeuron, Linear, Flatten};
+    use dtsnn_tensor::TensorRng;
+
+    fn tiny_net(seed: u64) -> Snn {
+        let mut rng = TensorRng::seed_from(seed);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(LifNeuron::new(LifConfig::default())),
+            Box::new(Linear::new(8, 3, &mut rng)),
+        ];
+        Snn::from_layers(layers)
+    }
+
+    #[test]
+    fn validates_window_and_frames() {
+        let p = ExitPolicy::entropy(0.5).unwrap();
+        assert!(DynamicInference::new(p, 0).is_err());
+        let runner = DynamicInference::new(p, 4).unwrap();
+        let mut net = tiny_net(1);
+        assert!(runner.run(&mut net, &[]).is_err());
+        let f = Tensor::zeros(&[1, 2, 2]);
+        assert!(runner.run(&mut net, &[f.clone(), f]).is_err());
+    }
+
+    #[test]
+    fn uses_at_most_max_timesteps() {
+        // θ → 0 never exits early, so T̂ = T.
+        let p = ExitPolicy::entropy(1e-6).unwrap();
+        let runner = DynamicInference::new(p, 3).unwrap();
+        let mut net = tiny_net(2);
+        let mut rng = TensorRng::seed_from(3);
+        let frame = Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng);
+        let out = runner.run(&mut net, &[frame]).unwrap();
+        assert_eq!(out.timesteps_used, 3);
+        assert!(!out.exited_early);
+        assert_eq!(out.scores.len(), 3);
+    }
+
+    #[test]
+    fn lax_threshold_exits_at_first_timestep() {
+        // θ = 1 exits whenever entropy < 1, i.e. any non-uniform output.
+        let p = ExitPolicy::entropy(1.0).unwrap();
+        let runner = DynamicInference::new(p, 4).unwrap();
+        let mut net = tiny_net(4);
+        let mut rng = TensorRng::seed_from(5);
+        let frame = Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng);
+        let out = runner.run(&mut net, &[frame]).unwrap();
+        assert_eq!(out.timesteps_used, 1);
+        assert!(out.exited_early);
+    }
+
+    #[test]
+    fn full_window_prediction_matches_static_inference() {
+        let p = ExitPolicy::entropy(1e-6).unwrap(); // never exits early
+        let runner = DynamicInference::new(p, 4).unwrap();
+        let mut net = tiny_net(6);
+        let mut rng = TensorRng::seed_from(7);
+        let frame = Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng);
+        let dynamic = runner.run(&mut net, std::slice::from_ref(&frame)).unwrap();
+        let static_pred = static_inference(&mut net, &[frame], 4).unwrap();
+        assert_eq!(dynamic.prediction, static_pred);
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let p = ExitPolicy::entropy(0.5).unwrap();
+        let runner = DynamicInference::new(p, 4).unwrap();
+        let mut net = tiny_net(8);
+        let mut rng = TensorRng::seed_from(9);
+        let frame = Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng);
+        let out = runner.run(&mut net, &[frame]).unwrap();
+        let s: f32 = out.probabilities.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(out.prediction < 3);
+    }
+
+    #[test]
+    fn event_frames_consume_one_per_timestep() {
+        let p = ExitPolicy::entropy(1e-6).unwrap();
+        let runner = DynamicInference::new(p, 3).unwrap();
+        let mut net = tiny_net(10);
+        let mut rng = TensorRng::seed_from(11);
+        let frames: Vec<Tensor> =
+            (0..3).map(|_| Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng)).collect();
+        let out = runner.run(&mut net, &frames).unwrap();
+        assert_eq!(out.timesteps_used, 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Wall-clock throughput measurement on a general processor (Table III).
+//!
+//! The paper measures images/s on a GPU at batch size 1; here the same
+//! protocol runs on the CPU with our engine. The claim shape is preserved:
+//! throughput falls roughly linearly with timesteps, and DT-SNN recovers
+//! near-1-timestep throughput at full-window accuracy.
+
+use crate::harness::DynamicEvaluation;
+use crate::inference::{static_inference, DynamicInference};
+use crate::{CoreError, Result};
+use dtsnn_snn::Snn;
+use dtsnn_tensor::Tensor;
+use std::time::Instant;
+
+/// Throughput and accuracy of one inference configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Configuration label (`"static T=2"` / `"DT-SNN θ=0.3"`).
+    pub label: String,
+    /// Images per second at batch size 1.
+    pub images_per_second: f64,
+    /// Top-1 accuracy over the measured set.
+    pub accuracy: f32,
+    /// Mean timesteps per image.
+    pub avg_timesteps: f32,
+}
+
+/// Measures batch-1 throughput of a static SNN at a fixed `timesteps`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadInput`] for empty or mismatched data.
+pub fn measure_throughput(
+    network: &mut Snn,
+    frames: &[Vec<Tensor>],
+    labels: &[usize],
+    timesteps: usize,
+) -> Result<ThroughputReport> {
+    if frames.is_empty() || frames.len() != labels.len() {
+        return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
+    }
+    let start = Instant::now();
+    let mut correct = 0usize;
+    for (sample_frames, &label) in frames.iter().zip(labels) {
+        let pred = static_inference(network, sample_frames, timesteps)?;
+        correct += (pred == label) as usize;
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    Ok(ThroughputReport {
+        label: format!("static T={timesteps}"),
+        images_per_second: frames.len() as f64 / secs,
+        accuracy: correct as f32 / frames.len() as f32,
+        avg_timesteps: timesteps as f32,
+    })
+}
+
+/// Measures batch-1 throughput of DT-SNN under `runner`'s policy.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadInput`] for empty or mismatched data.
+pub fn measure_dynamic_throughput(
+    network: &mut Snn,
+    runner: &DynamicInference,
+    frames: &[Vec<Tensor>],
+    labels: &[usize],
+) -> Result<ThroughputReport> {
+    let start = Instant::now();
+    let eval = DynamicEvaluation::run(network, runner, frames, labels, None)?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    Ok(ThroughputReport {
+        label: format!("DT-SNN {}", runner.policy().name()),
+        images_per_second: frames.len() as f64 / secs,
+        accuracy: eval.accuracy,
+        avg_timesteps: eval.avg_timesteps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExitPolicy;
+    use dtsnn_snn::{Flatten, Layer, LifConfig, LifNeuron, Linear};
+    use dtsnn_tensor::TensorRng;
+
+    fn tiny_net(seed: u64) -> Snn {
+        let mut rng = TensorRng::seed_from(seed);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(16, 32, &mut rng)),
+            Box::new(LifNeuron::new(LifConfig::default())),
+            Box::new(Linear::new(32, 3, &mut rng)),
+        ];
+        Snn::from_layers(layers)
+    }
+
+    fn data(n: usize) -> (Vec<Vec<Tensor>>, Vec<usize>) {
+        let mut rng = TensorRng::seed_from(1);
+        let frames = (0..n).map(|_| vec![Tensor::randn(&[1, 4, 4], 0.5, 0.5, &mut rng)]).collect();
+        (frames, (0..n).map(|i| i % 3).collect())
+    }
+
+    #[test]
+    fn throughput_positive_and_monotone_in_t() {
+        let mut net = tiny_net(2);
+        let (frames, labels) = data(64);
+        let t1 = measure_throughput(&mut net, &frames, &labels, 1).unwrap();
+        let t8 = measure_throughput(&mut net, &frames, &labels, 8).unwrap();
+        assert!(t1.images_per_second > 0.0);
+        // more timesteps → strictly more work → lower throughput
+        assert!(
+            t1.images_per_second > t8.images_per_second,
+            "{} !> {}",
+            t1.images_per_second,
+            t8.images_per_second
+        );
+    }
+
+    #[test]
+    fn dynamic_throughput_between_t1_and_tmax() {
+        let mut net = tiny_net(3);
+        let (frames, labels) = data(64);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.9).unwrap(), 8).unwrap();
+        let dt = measure_dynamic_throughput(&mut net, &runner, &frames, &labels).unwrap();
+        assert!(dt.avg_timesteps >= 1.0 && dt.avg_timesteps <= 8.0);
+        assert!(dt.images_per_second > 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let mut net = tiny_net(4);
+        assert!(measure_throughput(&mut net, &[], &[], 1).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Terminal visualization of easy vs. hard inputs (Fig. 8).
+
+use crate::harness::DynamicSampleOutcome;
+use dtsnn_tensor::Tensor;
+
+/// Renders a `[c, h, w]` frame as ASCII art (channel-averaged, darkest to
+/// brightest through a 10-level ramp). Empty string for malformed frames.
+pub fn ascii_render(frame: &Tensor) -> String {
+    let d = frame.dims();
+    if d.len() != 3 {
+        return String::new();
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::with_capacity(h * (w + 1));
+    for y in 0..h {
+        for x in 0..w {
+            let mut v = 0.0;
+            for ci in 0..c {
+                v += frame.at(&[ci, y, x]).unwrap_or(0.0);
+            }
+            v /= c as f32;
+            let idx = ((v.clamp(0.0, 1.0)) * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Groups sample indices by the timestep at which DT-SNN exited:
+/// `buckets[t-1]` holds the indices of samples that used `t` timesteps.
+/// Fig. 8 shows the `t = 1` bucket (easy) against the `t = T` bucket (hard).
+pub fn bucket_by_timesteps(outcomes: &[DynamicSampleOutcome], max_timesteps: usize) -> Vec<Vec<usize>> {
+    let mut buckets = vec![Vec::new(); max_timesteps];
+    for (i, o) in outcomes.iter().enumerate() {
+        if o.timesteps_used >= 1 && o.timesteps_used <= max_timesteps {
+            buckets[o.timesteps_used - 1].push(i);
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shape_and_ramp() {
+        let f = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.25], &[1, 2, 2]).unwrap();
+        let art = ascii_render(&f);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        assert_eq!(lines[0].chars().next().unwrap(), ' '); // 0.0 → darkest
+        assert_eq!(lines[0].chars().nth(1).unwrap(), '@'); // 1.0 → brightest
+    }
+
+    #[test]
+    fn render_averages_channels() {
+        let f = Tensor::from_vec(vec![0.0, 1.0], &[2, 1, 1]).unwrap();
+        let art = ascii_render(&f);
+        // mean 0.5 → middle of the ramp
+        assert_eq!(art.trim_end(), "+");
+    }
+
+    #[test]
+    fn render_rejects_bad_rank() {
+        assert_eq!(ascii_render(&Tensor::zeros(&[4])), "");
+    }
+
+    #[test]
+    fn bucketing_partitions_indices() {
+        let outcomes = vec![
+            DynamicSampleOutcome { timesteps_used: 1, correct: true, difficulty: 0.1 },
+            DynamicSampleOutcome { timesteps_used: 4, correct: false, difficulty: 0.9 },
+            DynamicSampleOutcome { timesteps_used: 1, correct: true, difficulty: 0.2 },
+        ];
+        let buckets = bucket_by_timesteps(&outcomes, 4);
+        assert_eq!(buckets[0], vec![0, 2]);
+        assert_eq!(buckets[3], vec![1]);
+        assert!(buckets[1].is_empty());
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Dataset containers shared by all generators.
+
+use dtsnn_tensor::Tensor;
+
+/// One labelled sample: a frame sequence plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Frame sequence: one `[c, h, w]` tensor for static images, or one per
+    /// timestep for event data.
+    pub frames: Vec<Tensor>,
+    /// Class index.
+    pub label: usize,
+    /// Ground-truth difficulty coefficient in `[0, 1]` used at synthesis time
+    /// (0 = pristine prototype, 1 = maximally corrupted). Exposed so
+    /// experiments can check that the exit policy correlates with difficulty
+    /// (Fig. 8).
+    pub difficulty: f32,
+}
+
+/// A train or test split.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Split {
+    /// Samples in this split.
+    pub samples: Vec<Sample>,
+}
+
+impl Split {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Frame sequences in the layout `dtsnn_snn::Trainer::fit` consumes.
+    pub fn frames(&self) -> Vec<Vec<Tensor>> {
+        self.samples.iter().map(|s| s.frames.clone()).collect()
+    }
+
+    /// Labels, aligned with [`Split::frames`].
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Difficulty coefficients, aligned with [`Split::frames`].
+    pub fn difficulties(&self) -> Vec<f32> {
+        self.samples.iter().map(|s| s.difficulty).collect()
+    }
+
+    /// A new split containing only the first `n` samples.
+    pub fn truncated(&self, n: usize) -> Split {
+        Split { samples: self.samples.iter().take(n).cloned().collect() }
+    }
+}
+
+impl FromIterator<Sample> for Split {
+    fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
+        Split { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Sample> for Split {
+    fn extend<I: IntoIterator<Item = Sample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+/// A complete dataset: train and test splits plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name (for experiment tables).
+    pub name: String,
+    /// Number of classes.
+    pub classes: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Square image extent.
+    pub image_size: usize,
+    /// Frames per sample (1 for static, T for event streams).
+    pub frames_per_sample: usize,
+    /// Training split.
+    pub train: Split,
+    /// Test split.
+    pub test: Split,
+}
+
+impl Dataset {
+    /// Per-class sample counts of the test split (balance check).
+    pub fn test_class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for s in &self.test.samples {
+            h[s.label] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: usize, difficulty: f32) -> Sample {
+        Sample { frames: vec![Tensor::zeros(&[1, 2, 2])], label, difficulty }
+    }
+
+    #[test]
+    fn split_accessors() {
+        let split: Split = vec![sample(0, 0.1), sample(1, 0.9)].into_iter().collect();
+        assert_eq!(split.len(), 2);
+        assert!(!split.is_empty());
+        assert_eq!(split.labels(), vec![0, 1]);
+        assert_eq!(split.difficulties(), vec![0.1, 0.9]);
+        assert_eq!(split.frames().len(), 2);
+        assert_eq!(split.truncated(1).len(), 1);
+    }
+
+    #[test]
+    fn split_extend() {
+        let mut split = Split::default();
+        split.extend(vec![sample(0, 0.0)]);
+        assert_eq!(split.len(), 1);
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        let ds = Dataset {
+            name: "t".into(),
+            classes: 3,
+            channels: 1,
+            image_size: 2,
+            frames_per_sample: 1,
+            train: Split::default(),
+            test: vec![sample(0, 0.0), sample(2, 0.0), sample(2, 0.0)].into_iter().collect(),
+        };
+        assert_eq!(ds.test_class_histogram(), vec![1, 0, 2]);
+    }
+}

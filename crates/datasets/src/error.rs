@@ -1,0 +1,49 @@
+use dtsnn_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by dataset synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A configuration value was outside its documented domain.
+    InvalidConfig(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig(msg) => write!(f, "invalid dataset configuration: {msg}"),
+            DataError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::InvalidConfig("zero classes".into());
+        assert!(e.to_string().contains("zero classes"));
+        let t = DataError::from(TensorError::InvalidArgument("x".into()));
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

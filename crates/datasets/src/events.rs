@@ -1,0 +1,250 @@
+//! Synthetic event-stream dataset (the CIFAR10-DVS stand-in).
+//!
+//! A dynamic-vision-sensor records brightness *changes* as sparse binary
+//! events. We emulate this by translating a class prototype across the field
+//! of view and thresholding the inter-frame intensity difference into ON/OFF
+//! event channels, one frame per timestep. Per-sample difficulty controls
+//! event noise (spurious events) and drop-out (missed events).
+
+use crate::dataset::{Dataset, Sample, Split};
+use crate::vision::VisionConfig;
+use crate::{DataError, Result};
+use dtsnn_tensor::{Tensor, TensorRng};
+
+/// Configuration of a [`SyntheticEvents`] dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Square frame extent.
+    pub image_size: usize,
+    /// Frames per sample (the paper uses T = 10 for CIFAR10-DVS).
+    pub timesteps: usize,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+    /// Intensity change that triggers an event.
+    pub event_threshold: f32,
+    /// Exponent of the difficulty distribution (see [`VisionConfig`]).
+    pub difficulty_exponent: f32,
+    /// Probability of a spurious event per pixel at difficulty 1.
+    pub max_noise_rate: f32,
+    /// Probability of dropping a true event at difficulty 1.
+    pub max_drop_rate: f32,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            classes: 10,
+            image_size: 16,
+            timesteps: 10,
+            train_size: 512,
+            test_size: 256,
+            event_threshold: 0.08,
+            difficulty_exponent: 2.5,
+            max_noise_rate: 0.12,
+            max_drop_rate: 0.5,
+        }
+    }
+}
+
+impl EventConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for zero extents or rates outside
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.classes < 2 {
+            return Err(DataError::InvalidConfig("need at least 2 classes".into()));
+        }
+        if self.image_size == 0 || self.timesteps == 0 {
+            return Err(DataError::InvalidConfig("image_size and timesteps must be nonzero".into()));
+        }
+        if self.train_size == 0 || self.test_size == 0 {
+            return Err(DataError::InvalidConfig("train and test sizes must be nonzero".into()));
+        }
+        if self.event_threshold <= 0.0 {
+            return Err(DataError::InvalidConfig("event_threshold must be positive".into()));
+        }
+        if self.difficulty_exponent <= 0.0 {
+            return Err(DataError::InvalidConfig("difficulty_exponent must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.max_noise_rate) || !(0.0..=1.0).contains(&self.max_drop_rate)
+        {
+            return Err(DataError::InvalidConfig("event rates must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Generator for event-stream datasets.
+#[derive(Debug, Clone)]
+pub struct SyntheticEvents {
+    prototypes: Vec<Tensor>,
+    config: EventConfig,
+}
+
+impl SyntheticEvents {
+    /// Generates a complete event dataset, deterministically in
+    /// `(config, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for invalid configurations.
+    pub fn generate(config: &EventConfig, seed: u64) -> Result<Dataset> {
+        config.validate()?;
+        let mut rng = TensorRng::seed_from(seed);
+        // Reuse the vision prototype machinery with a single channel.
+        let vis = VisionConfig {
+            classes: config.classes,
+            channels: 1,
+            image_size: config.image_size,
+            train_size: 1,
+            test_size: 1,
+            ..VisionConfig::default()
+        };
+        let prototypes = (0..config.classes)
+            .map(|_| super::vision::SyntheticVision::prototype_for(&vis, &mut rng))
+            .collect();
+        let gen = SyntheticEvents { prototypes, config: *config };
+        let train = gen.split(config.train_size, &mut rng.fork(1));
+        let test = gen.split(config.test_size, &mut rng.fork(2));
+        Ok(Dataset {
+            name: format!("synth-dvs-{}c-{}t", config.classes, config.timesteps),
+            classes: config.classes,
+            channels: 2,
+            image_size: config.image_size,
+            frames_per_sample: config.timesteps,
+            train,
+            test,
+        })
+    }
+
+    /// Renders one sample: the prototype translated along a random straight
+    /// trajectory, differenced and thresholded into ON/OFF event frames.
+    fn render(&self, label: usize, d: f32, rng: &mut TensorRng) -> Sample {
+        let cfg = &self.config;
+        let s = cfg.image_size;
+        let proto = &self.prototypes[label];
+        // random velocity, at most ~1.5 px/frame in each axis
+        let vx = rng.uniform(-1.5, 1.5);
+        let vy = rng.uniform(-1.5, 1.5);
+        let noise_rate = cfg.max_noise_rate * d;
+        let drop_rate = cfg.max_drop_rate * d;
+        let intensity_at = |t: usize, y: usize, x: usize| -> f32 {
+            // toroidal shift keeps the object in frame
+            let sy = ((y as f32 - vy * t as f32).rem_euclid(s as f32)) as usize % s;
+            let sx = ((x as f32 - vx * t as f32).rem_euclid(s as f32)) as usize % s;
+            proto.at(&[0, sy, sx]).expect("in-range prototype index")
+        };
+        let mut frames = Vec::with_capacity(cfg.timesteps);
+        for t in 0..cfg.timesteps {
+            let mut frame = Tensor::zeros(&[2, s, s]);
+            for y in 0..s {
+                for x in 0..s {
+                    let prev = intensity_at(t, y, x);
+                    let cur = intensity_at(t + 1, y, x);
+                    let delta = cur - prev;
+                    let mut on = delta > cfg.event_threshold;
+                    let mut off = delta < -cfg.event_threshold;
+                    if (on || off) && rng.bernoulli(drop_rate) {
+                        on = false;
+                        off = false;
+                    }
+                    if !on && rng.bernoulli(noise_rate * 0.5) {
+                        on = true;
+                    }
+                    if !off && rng.bernoulli(noise_rate * 0.5) {
+                        off = true;
+                    }
+                    if on {
+                        frame.set(&[0, y, x], 1.0).expect("in-range event index");
+                    }
+                    if off {
+                        frame.set(&[1, y, x], 1.0).expect("in-range event index");
+                    }
+                }
+            }
+            frames.push(frame);
+        }
+        Sample { frames, label, difficulty: d }
+    }
+
+    fn split(&self, n: usize, rng: &mut TensorRng) -> Split {
+        (0..n)
+            .map(|i| {
+                let label = i % self.config.classes;
+                let d = rng.uniform(0.0, 1.0).powf(self.config.difficulty_exponent);
+                self.render(label, d, rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> EventConfig {
+        EventConfig { classes: 3, timesteps: 5, train_size: 12, test_size: 6, ..EventConfig::default() }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(small_config().validate().is_ok());
+        assert!(EventConfig { timesteps: 0, ..small_config() }.validate().is_err());
+        assert!(EventConfig { max_noise_rate: 1.5, ..small_config() }.validate().is_err());
+        assert!(EventConfig { event_threshold: 0.0, ..small_config() }.validate().is_err());
+    }
+
+    #[test]
+    fn frames_are_binary_two_channel() {
+        let ds = SyntheticEvents::generate(&small_config(), 7).unwrap();
+        assert_eq!(ds.frames_per_sample, 5);
+        for s in &ds.train.samples {
+            assert_eq!(s.frames.len(), 5);
+            for f in &s.frames {
+                assert_eq!(f.dims(), &[2, 16, 16]);
+                assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn moving_prototype_produces_events() {
+        let ds = SyntheticEvents::generate(&small_config(), 8).unwrap();
+        // at least some frames carry events for easy samples
+        let easy = ds.train.samples.iter().min_by(|a, b| {
+            a.difficulty.partial_cmp(&b.difficulty).expect("finite difficulty")
+        });
+        let total: f32 = easy.unwrap().frames.iter().map(|f| f.sum()).sum();
+        assert!(total > 0.0, "no events generated");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = small_config();
+        let a = SyntheticEvents::generate(&c, 3).unwrap();
+        let b = SyntheticEvents::generate(&c, 3).unwrap();
+        assert_eq!(a.train.samples[0].frames, b.train.samples[0].frames);
+    }
+
+    #[test]
+    fn event_density_is_sparse() {
+        let ds = SyntheticEvents::generate(&small_config(), 9).unwrap();
+        let mut density = 0.0;
+        let mut count = 0;
+        for s in &ds.test.samples {
+            for f in &s.frames {
+                density += f.density();
+                count += 1;
+            }
+        }
+        let mean = density / count as f32;
+        assert!(mean < 0.5, "event frames too dense: {mean}");
+    }
+}

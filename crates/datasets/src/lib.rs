@@ -1,0 +1,44 @@
+//! Synthetic datasets for the DT-SNN reproduction.
+//!
+//! The paper evaluates on CIFAR-10, CIFAR-100, TinyImageNet and CIFAR10-DVS.
+//! Natural-image corpora are not available here, so this crate synthesizes
+//! datasets that preserve the *property DT-SNN exploits*: a difficulty
+//! spectrum in which most samples are easy (confidently classified after one
+//! timestep) and a minority are hard (require the full window). Every sample
+//! carries an explicit difficulty coefficient, drawn from a heavy-tailed
+//! distribution, which controls noise, contrast and occlusion.
+//!
+//! Static datasets produce one frame per sample (direct encoding); the
+//! DVS-like dataset produces one binary event frame per timestep.
+//!
+//! # Example
+//!
+//! ```
+//! use dtsnn_data::{SyntheticVision, VisionConfig};
+//!
+//! # fn main() -> Result<(), dtsnn_data::DataError> {
+//! let config = VisionConfig { classes: 4, train_size: 32, test_size: 16, ..VisionConfig::default() };
+//! let data = SyntheticVision::generate(&config, 42)?;
+//! assert_eq!(data.train.len(), 32);
+//! assert_eq!(data.test.len(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod events;
+mod presets;
+mod vision;
+
+pub use dataset::{Dataset, Sample, Split};
+pub use error::DataError;
+pub use events::{EventConfig, SyntheticEvents};
+pub use presets::{cifar10_like, cifar100_like, dvs_like, tiny_imagenet_like, Preset};
+pub use vision::{SyntheticVision, VisionConfig};
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

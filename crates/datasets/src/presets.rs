@@ -1,0 +1,208 @@
+//! Named dataset presets mirroring the paper's four benchmarks.
+//!
+//! | Paper dataset | Preset | Stand-in properties |
+//! |---|---|---|
+//! | CIFAR-10 | [`cifar10_like`] | 10 classes, moderate difficulty tail |
+//! | CIFAR-100 | [`cifar100_like`] | more classes, harder tail (lower accuracy, later exits) |
+//! | TinyImageNet | [`tiny_imagenet_like`] | hardest: more classes, stronger corruption |
+//! | CIFAR10-DVS | [`dvs_like`] | 10-timestep binary event streams |
+//!
+//! Sizes are scaled for CPU training; pass a `scale` > 1 for larger corpora.
+
+use crate::events::{EventConfig, SyntheticEvents};
+use crate::vision::{SyntheticVision, VisionConfig};
+use crate::{Dataset, Result};
+
+/// Identifies one of the four paper-benchmark stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// CIFAR-10 stand-in.
+    Cifar10,
+    /// CIFAR-100 stand-in.
+    Cifar100,
+    /// TinyImageNet stand-in.
+    TinyImageNet,
+    /// CIFAR10-DVS stand-in (event streams, T = 10).
+    Cifar10Dvs,
+}
+
+impl Preset {
+    /// Generates the preset at the given corpus scale (1 = default sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DataError::InvalidConfig`] if `scale` is 0.
+    pub fn generate(&self, scale: usize, seed: u64) -> Result<Dataset> {
+        match self {
+            Preset::Cifar10 => cifar10_like(scale, seed),
+            Preset::Cifar100 => cifar100_like(scale, seed),
+            Preset::TinyImageNet => tiny_imagenet_like(scale, seed),
+            Preset::Cifar10Dvs => dvs_like(scale, seed),
+        }
+    }
+
+    /// Display name used in experiment tables (paper nomenclature).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Cifar10 => "CIFAR-10*",
+            Preset::Cifar100 => "CIFAR-100*",
+            Preset::TinyImageNet => "TinyImageNet*",
+            Preset::Cifar10Dvs => "CIFAR10-DVS*",
+        }
+    }
+
+    /// The full timestep window the paper uses for this dataset
+    /// (4 for static benchmarks, 10 for DVS).
+    pub fn paper_timesteps(&self) -> usize {
+        match self {
+            Preset::Cifar10Dvs => 10,
+            _ => 4,
+        }
+    }
+
+    /// All four presets in paper order.
+    pub fn all() -> [Preset; 4] {
+        [Preset::Cifar10, Preset::Cifar100, Preset::TinyImageNet, Preset::Cifar10Dvs]
+    }
+}
+
+fn check_scale(scale: usize) -> Result<usize> {
+    if scale == 0 {
+        return Err(crate::DataError::InvalidConfig("scale must be ≥ 1".into()));
+    }
+    Ok(scale)
+}
+
+/// CIFAR-10 stand-in: 10 classes, 3×16×16, gentle difficulty tail.
+///
+/// # Errors
+///
+/// Returns [`crate::DataError::InvalidConfig`] if `scale` is 0.
+pub fn cifar10_like(scale: usize, seed: u64) -> Result<Dataset> {
+    let scale = check_scale(scale)?;
+    SyntheticVision::generate(
+        &VisionConfig {
+            classes: 10,
+            train_size: 600 * scale,
+            test_size: 300 * scale,
+            difficulty_exponent: 2.2,
+            max_noise: 0.4,
+            prototype_similarity: 0.8,
+            ..VisionConfig::default()
+        },
+        seed,
+    )
+}
+
+/// CIFAR-100 stand-in: 20 classes and a heavier difficulty tail, so accuracy
+/// is lower and more samples need extra timesteps (as in Table II).
+///
+/// # Errors
+///
+/// Returns [`crate::DataError::InvalidConfig`] if `scale` is 0.
+pub fn cifar100_like(scale: usize, seed: u64) -> Result<Dataset> {
+    let scale = check_scale(scale)?;
+    SyntheticVision::generate(
+        &VisionConfig {
+            classes: 20,
+            train_size: 1000 * scale,
+            test_size: 400 * scale,
+            difficulty_exponent: 1.8,
+            max_noise: 0.6,
+            min_contrast: 0.3,
+            prototype_similarity: 0.85,
+            ..VisionConfig::default()
+        },
+        seed,
+    )
+}
+
+/// TinyImageNet stand-in: the hardest static benchmark — more classes,
+/// strongest corruption, flattest difficulty distribution.
+///
+/// # Errors
+///
+/// Returns [`crate::DataError::InvalidConfig`] if `scale` is 0.
+pub fn tiny_imagenet_like(scale: usize, seed: u64) -> Result<Dataset> {
+    let scale = check_scale(scale)?;
+    SyntheticVision::generate(
+        &VisionConfig {
+            classes: 20,
+            train_size: 1000 * scale,
+            test_size: 400 * scale,
+            difficulty_exponent: 1.4,
+            max_noise: 0.7,
+            min_contrast: 0.25,
+            occlusion_threshold: 0.65,
+            prototype_similarity: 0.85,
+            ..VisionConfig::default()
+        },
+        seed,
+    )
+}
+
+/// CIFAR10-DVS stand-in: 10-class binary event streams over 10 timesteps.
+///
+/// # Errors
+///
+/// Returns [`crate::DataError::InvalidConfig`] if `scale` is 0.
+pub fn dvs_like(scale: usize, seed: u64) -> Result<Dataset> {
+    let scale = check_scale(scale)?;
+    SyntheticEvents::generate(
+        &EventConfig { train_size: 400 * scale, test_size: 200 * scale, ..EventConfig::default() },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_generate() {
+        for p in Preset::all() {
+            let ds = p.generate(1, 1).unwrap();
+            assert!(!ds.train.is_empty());
+            assert!(!ds.test.is_empty());
+            assert_eq!(
+                ds.frames_per_sample,
+                if p == Preset::Cifar10Dvs { 10 } else { 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn zero_scale_rejected() {
+        assert!(cifar10_like(0, 1).is_err());
+        assert!(dvs_like(0, 1).is_err());
+    }
+
+    #[test]
+    fn paper_timesteps_match_table2() {
+        assert_eq!(Preset::Cifar10.paper_timesteps(), 4);
+        assert_eq!(Preset::Cifar10Dvs.paper_timesteps(), 10);
+    }
+
+    #[test]
+    fn names_are_distinct_and_starred() {
+        let names: Vec<_> = Preset::all().iter().map(|p| p.name()).collect();
+        for n in &names {
+            assert!(n.ends_with('*'), "{n} should be starred as a stand-in");
+        }
+        let mut d = names.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), names.len());
+    }
+
+    #[test]
+    fn difficulty_ordering_cifar10_easier_than_tinyimagenet() {
+        let easy = cifar10_like(1, 2).unwrap();
+        let hard = tiny_imagenet_like(1, 2).unwrap();
+        let mean = |ds: &Dataset| {
+            let d = ds.train.difficulties();
+            d.iter().sum::<f32>() / d.len() as f32
+        };
+        assert!(mean(&easy) < mean(&hard));
+    }
+}

@@ -1,0 +1,329 @@
+//! Static synthetic vision datasets (the CIFAR / TinyImageNet stand-ins).
+//!
+//! Each class is a smooth random prototype image (a mixture of low-frequency
+//! sinusoids). A sample is its class prototype degraded by a per-sample
+//! difficulty coefficient `d`:
+//!
+//! - additive Gaussian noise with σ growing in `d`,
+//! - contrast shrinking in `d`,
+//! - a random occluding patch when `d` is large.
+//!
+//! `d` follows `u^difficulty_exponent` with `u ~ U[0,1)`: for exponents > 1
+//! most samples are easy and a small tail is hard — the regime in which
+//! DT-SNN exits early on the majority (Fig. 5's pie charts).
+
+use crate::dataset::{Dataset, Sample, Split};
+use crate::{DataError, Result};
+use dtsnn_tensor::{Tensor, TensorRng};
+
+/// Configuration of a [`SyntheticVision`] dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisionConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Square image extent.
+    pub image_size: usize,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+    /// Exponent of the difficulty distribution `d = u^e` (larger → easier
+    /// corpus; must be positive).
+    pub difficulty_exponent: f32,
+    /// Noise σ at `d = 1`.
+    pub max_noise: f32,
+    /// Minimum contrast retained at `d = 1` (in `(0, 1]`).
+    pub min_contrast: f32,
+    /// Difficulty above which an occluding patch is stamped.
+    pub occlusion_threshold: f32,
+    /// Number of sinusoidal components per prototype channel.
+    pub prototype_components: usize,
+    /// Prototype similarity in `[0, 1)`: fraction of a shared base pattern
+    /// mixed into every class prototype. Higher values bring the classes
+    /// closer together, so telling them apart needs the fine-grained rate
+    /// code that only accumulates over several timesteps (the regime of the
+    /// paper's Fig. 2).
+    pub prototype_similarity: f32,
+}
+
+impl Default for VisionConfig {
+    fn default() -> Self {
+        VisionConfig {
+            classes: 10,
+            channels: 3,
+            image_size: 16,
+            train_size: 512,
+            test_size: 256,
+            difficulty_exponent: 2.5,
+            max_noise: 0.55,
+            min_contrast: 0.35,
+            occlusion_threshold: 0.75,
+            prototype_components: 6,
+            prototype_similarity: 0.0,
+        }
+    }
+}
+
+impl VisionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for zero extents or out-of-range
+    /// coefficients.
+    pub fn validate(&self) -> Result<()> {
+        if self.classes < 2 {
+            return Err(DataError::InvalidConfig("need at least 2 classes".into()));
+        }
+        if self.channels == 0 || self.image_size == 0 {
+            return Err(DataError::InvalidConfig("channels and image_size must be nonzero".into()));
+        }
+        if self.train_size == 0 || self.test_size == 0 {
+            return Err(DataError::InvalidConfig("train and test sizes must be nonzero".into()));
+        }
+        if self.difficulty_exponent <= 0.0 {
+            return Err(DataError::InvalidConfig("difficulty_exponent must be positive".into()));
+        }
+        if !(0.0 < self.min_contrast && self.min_contrast <= 1.0) {
+            return Err(DataError::InvalidConfig("min_contrast must be in (0,1]".into()));
+        }
+        if self.max_noise < 0.0 {
+            return Err(DataError::InvalidConfig("max_noise must be nonnegative".into()));
+        }
+        if self.prototype_components == 0 {
+            return Err(DataError::InvalidConfig("prototype_components must be nonzero".into()));
+        }
+        if !(0.0..1.0).contains(&self.prototype_similarity) {
+            return Err(DataError::InvalidConfig("prototype_similarity must be in [0,1)".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Generator for static synthetic vision datasets.
+#[derive(Debug, Clone)]
+pub struct SyntheticVision {
+    prototypes: Vec<Tensor>,
+    config: VisionConfig,
+}
+
+impl SyntheticVision {
+    /// Generates a complete dataset (prototypes, train split, test split),
+    /// deterministically in `(config, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for invalid configurations.
+    pub fn generate(config: &VisionConfig, seed: u64) -> Result<Dataset> {
+        config.validate()?;
+        let mut rng = TensorRng::seed_from(seed);
+        let gen = SyntheticVision::with_prototypes(config, &mut rng);
+        let train = gen.split(config.train_size, &mut rng.fork(1));
+        let test = gen.split(config.test_size, &mut rng.fork(2));
+        Ok(Dataset {
+            name: format!("synth-vision-{}c-{}px", config.classes, config.image_size),
+            classes: config.classes,
+            channels: config.channels,
+            image_size: config.image_size,
+            frames_per_sample: 1,
+            train,
+            test,
+        })
+    }
+
+    /// Builds the per-class prototypes, mixing in the shared base pattern.
+    fn with_prototypes(config: &VisionConfig, rng: &mut TensorRng) -> Self {
+        let sim = config.prototype_similarity;
+        let base = Self::prototype(config, rng);
+        let prototypes = (0..config.classes)
+            .map(|_| {
+                let unique = Self::prototype(config, rng);
+                // convex blend, then renormalize to [0, 1]
+                let mut p = base.scale(sim);
+                p.axpy(1.0 - sim, &unique).expect("same prototype shape");
+                let (lo, hi) = (p.min(), p.max());
+                let range = (hi - lo).max(1e-6);
+                p.map(|v| (v - lo) / range)
+            })
+            .collect();
+        SyntheticVision { prototypes, config: *config }
+    }
+
+    /// Crate-internal access to prototype synthesis (shared with the event
+    /// generator).
+    pub(crate) fn prototype_for(config: &VisionConfig, rng: &mut TensorRng) -> Tensor {
+        Self::prototype(config, rng)
+    }
+
+    /// Smooth random pattern in `[0, 1]`: a sum of low-frequency sinusoids.
+    fn prototype(config: &VisionConfig, rng: &mut TensorRng) -> Tensor {
+        let s = config.image_size;
+        let c = config.channels;
+        let mut img = Tensor::zeros(&[c, s, s]);
+        for ci in 0..c {
+            // random sinusoid mixture per channel
+            let comps: Vec<(f32, f32, f32, f32)> = (0..config.prototype_components)
+                .map(|_| {
+                    (
+                        rng.uniform(0.5, 2.5),                       // fx (cycles per image)
+                        rng.uniform(0.5, 2.5),                       // fy
+                        rng.uniform(0.0, std::f32::consts::TAU),     // phase
+                        rng.uniform(0.4, 1.0),                       // amplitude
+                    )
+                })
+                .collect();
+            for y in 0..s {
+                for x in 0..s {
+                    let (xf, yf) = (x as f32 / s as f32, y as f32 / s as f32);
+                    let mut v = 0.0;
+                    for &(fx, fy, ph, a) in &comps {
+                        v += a * (std::f32::consts::TAU * (fx * xf + fy * yf) + ph).sin();
+                    }
+                    img.set(&[ci, y, x], v).expect("in-range prototype index");
+                }
+            }
+        }
+        // normalize to [0, 1]
+        let (lo, hi) = (img.min(), img.max());
+        let range = (hi - lo).max(1e-6);
+        img.map(|v| (v - lo) / range)
+    }
+
+    /// Draws a difficulty coefficient from the heavy-tailed distribution.
+    fn draw_difficulty(&self, rng: &mut TensorRng) -> f32 {
+        rng.uniform(0.0, 1.0).powf(self.config.difficulty_exponent)
+    }
+
+    /// Synthesizes one sample of class `label` at difficulty `d`.
+    fn render(&self, label: usize, d: f32, rng: &mut TensorRng) -> Sample {
+        let cfg = &self.config;
+        let proto = &self.prototypes[label];
+        let contrast = 1.0 - (1.0 - cfg.min_contrast) * d;
+        let noise = cfg.max_noise * d;
+        let mut img = proto.map(|v| 0.5 + (v - 0.5) * contrast);
+        if noise > 0.0 {
+            for v in img.data_mut() {
+                *v += rng.normal(0.0, noise);
+            }
+        }
+        if d > cfg.occlusion_threshold {
+            // stamp a gray patch covering ~1/4 of the extent
+            let s = cfg.image_size;
+            let ps = (s / 2).max(1);
+            let oy = rng.below(s - ps + 1);
+            let ox = rng.below(s - ps + 1);
+            for ci in 0..cfg.channels {
+                for y in oy..oy + ps {
+                    for x in ox..ox + ps {
+                        img.set(&[ci, y, x], 0.5).expect("in-range occlusion index");
+                    }
+                }
+            }
+        }
+        img.map_inplace(|v| v.clamp(0.0, 1.0));
+        Sample { frames: vec![img], label, difficulty: d }
+    }
+
+    /// Generates `n` samples with round-robin class balance.
+    fn split(&self, n: usize, rng: &mut TensorRng) -> Split {
+        (0..n)
+            .map(|i| {
+                let label = i % self.config.classes;
+                let d = self.draw_difficulty(rng);
+                self.render(label, d, rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> VisionConfig {
+        VisionConfig { classes: 4, train_size: 40, test_size: 20, ..VisionConfig::default() }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = small_config();
+        assert!(c.validate().is_ok());
+        c.classes = 1;
+        assert!(c.validate().is_err());
+        c = small_config();
+        c.difficulty_exponent = 0.0;
+        assert!(c.validate().is_err());
+        c = small_config();
+        c.min_contrast = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = small_config();
+        let a = SyntheticVision::generate(&c, 9).unwrap();
+        let b = SyntheticVision::generate(&c, 9).unwrap();
+        assert_eq!(a.train.samples[0].frames[0], b.train.samples[0].frames[0]);
+        let c2 = SyntheticVision::generate(&c, 10).unwrap();
+        assert_ne!(a.train.samples[0].frames[0], c2.train.samples[0].frames[0]);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let ds = SyntheticVision::generate(&small_config(), 1).unwrap();
+        for s in ds.train.samples.iter().chain(&ds.test.samples) {
+            let f = &s.frames[0];
+            assert!(f.min() >= 0.0 && f.max() <= 1.0);
+            assert_eq!(f.dims(), &[3, 16, 16]);
+        }
+    }
+
+    #[test]
+    fn class_balanced_splits() {
+        let ds = SyntheticVision::generate(&small_config(), 2).unwrap();
+        let h = ds.test_class_histogram();
+        assert_eq!(h, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn difficulty_distribution_is_heavy_tailed() {
+        let c = VisionConfig { train_size: 2000, ..small_config() };
+        let ds = SyntheticVision::generate(&c, 3).unwrap();
+        let d = ds.train.difficulties();
+        let easy = d.iter().filter(|&&x| x < 0.2).count() as f32 / d.len() as f32;
+        let hard = d.iter().filter(|&&x| x > 0.8).count() as f32 / d.len() as f32;
+        // u^2.5: P(d<0.2) = 0.2^0.4 ≈ 0.52, P(d>0.8) = 1−0.8^0.4 ≈ 0.085
+        assert!(easy > 0.4, "easy fraction {easy}");
+        assert!(hard < 0.15, "hard fraction {hard}");
+        assert!(easy > hard * 2.0);
+    }
+
+    #[test]
+    fn easy_samples_closer_to_prototype_than_hard() {
+        let c = small_config();
+        let mut rng = TensorRng::seed_from(4);
+        let gen = SyntheticVision::with_prototypes(&c, &mut rng);
+        let easy = gen.render(0, 0.0, &mut rng);
+        let hard = gen.render(0, 1.0, &mut rng);
+        let proto = &gen.prototypes[0];
+        let dist = |a: &Tensor, b: &Tensor| -> f32 {
+            a.sub(b).unwrap().norm_sq()
+        };
+        assert!(dist(&easy.frames[0], proto) < dist(&hard.frames[0], proto));
+    }
+
+    #[test]
+    fn prototypes_are_distinct_across_classes() {
+        let c = small_config();
+        let mut rng = TensorRng::seed_from(5);
+        let gen = SyntheticVision::with_prototypes(&c, &mut rng);
+        for i in 0..c.classes {
+            for j in (i + 1)..c.classes {
+                let d = gen.prototypes[i].sub(&gen.prototypes[j]).unwrap().norm_sq();
+                assert!(d > 1.0, "prototypes {i} and {j} nearly identical (d={d})");
+            }
+        }
+    }
+}

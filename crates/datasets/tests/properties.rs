@@ -1,0 +1,103 @@
+//! Property-based tests of the synthetic data generators: determinism,
+//! value ranges, balance and difficulty semantics under arbitrary valid
+//! configurations.
+
+use dtsnn_data::{EventConfig, SyntheticEvents, SyntheticVision, VisionConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vision_generator_respects_contract(
+        classes in 2usize..6,
+        exponent in 0.5f32..4.0,
+        noise in 0.0f32..0.8,
+        similarity in 0.0f32..0.9,
+        seed in 0u64..500,
+    ) {
+        let cfg = VisionConfig {
+            classes,
+            train_size: classes * 4,
+            test_size: classes * 2,
+            image_size: 8,
+            difficulty_exponent: exponent,
+            max_noise: noise,
+            prototype_similarity: similarity,
+            ..VisionConfig::default()
+        };
+        let ds = SyntheticVision::generate(&cfg, seed).unwrap();
+        prop_assert_eq!(ds.train.len(), classes * 4);
+        prop_assert_eq!(ds.test.len(), classes * 2);
+        // balanced classes
+        let hist = ds.test_class_histogram();
+        for &h in &hist {
+            prop_assert_eq!(h, 2);
+        }
+        // pixel range and difficulty range
+        for s in ds.train.samples.iter().chain(&ds.test.samples) {
+            prop_assert!((0.0..=1.0).contains(&s.difficulty));
+            prop_assert!(s.frames[0].min() >= 0.0 && s.frames[0].max() <= 1.0);
+            prop_assert!(s.label < classes);
+        }
+    }
+
+    #[test]
+    fn vision_generator_is_deterministic(seed in 0u64..500) {
+        let cfg = VisionConfig {
+            classes: 3,
+            train_size: 6,
+            test_size: 3,
+            image_size: 8,
+            ..VisionConfig::default()
+        };
+        let a = SyntheticVision::generate(&cfg, seed).unwrap();
+        let b = SyntheticVision::generate(&cfg, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_generator_respects_contract(
+        classes in 2usize..5,
+        timesteps in 2usize..8,
+        noise in 0.0f32..0.3,
+        seed in 0u64..500,
+    ) {
+        let cfg = EventConfig {
+            classes,
+            timesteps,
+            train_size: classes * 2,
+            test_size: classes,
+            image_size: 8,
+            max_noise_rate: noise,
+            ..EventConfig::default()
+        };
+        let ds = SyntheticEvents::generate(&cfg, seed).unwrap();
+        prop_assert_eq!(ds.frames_per_sample, timesteps);
+        for s in &ds.test.samples {
+            prop_assert_eq!(s.frames.len(), timesteps);
+            for f in &s.frames {
+                prop_assert_eq!(f.dims(), &[2usize, 8, 8]);
+                prop_assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn higher_exponent_means_easier_corpus(seed in 0u64..200) {
+        // larger difficulty exponent → lower mean difficulty
+        let base = VisionConfig {
+            classes: 3,
+            train_size: 120,
+            test_size: 3,
+            image_size: 8,
+            ..VisionConfig::default()
+        };
+        let easy_cfg = VisionConfig { difficulty_exponent: 4.0, ..base };
+        let hard_cfg = VisionConfig { difficulty_exponent: 0.7, ..base };
+        let easy = SyntheticVision::generate(&easy_cfg, seed).unwrap();
+        let hard = SyntheticVision::generate(&hard_cfg, seed).unwrap();
+        let mean = |d: Vec<f32>| d.iter().sum::<f32>() / d.len() as f32;
+        prop_assert!(mean(easy.train.difficulties()) < mean(hard.train.difficulties()));
+    }
+}

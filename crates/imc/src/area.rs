@@ -1,0 +1,184 @@
+//! Area accounting for the mapped chip (32 nm, Table I).
+//!
+//! The paper motivates ADC sharing ("multiplexers enable resource sharing of
+//! ADCs and Shift-&-Add circuits among multiple crossbar columns to reduce
+//! the area overheads") and budgets the σ–E module at 2 × 3 KB of LUT. This
+//! module provides the corresponding silicon accounting: per-component areas
+//! scale with the mapping, SRAM macros scale with their byte budgets, and
+//! the ADC count reflects the mux ratio.
+
+use crate::mapping::ChipMapping;
+use crate::{HardwareConfig, Result};
+use serde::{Deserialize, Serialize};
+
+/// Per-unit area constants, in µm² (32 nm-class estimates; calibration
+/// parameters of the analytical model, like [`crate::EnergyConstants`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaConstants {
+    /// One RRAM cell (4F² at F = 32 nm plus access overhead), µm².
+    pub cell: f64,
+    /// One ADC, µm².
+    pub adc: f64,
+    /// Switch matrix + wordline drivers per crossbar row, µm².
+    pub driver_per_row: f64,
+    /// One shift-&-add unit, µm².
+    pub shift_add: f64,
+    /// One column mux (per ADC), µm².
+    pub mux: f64,
+    /// One accumulator, µm².
+    pub accumulator: f64,
+    /// SRAM density, µm² per byte.
+    pub sram_per_byte: f64,
+    /// LIF neuron module per 64 neurons (time-multiplexed), µm².
+    pub lif_module: f64,
+    /// σ–E module control logic (FIFOs, MAC, comparator), µm².
+    pub sigma_e_logic: f64,
+}
+
+impl Default for AreaConstants {
+    fn default() -> Self {
+        AreaConstants {
+            cell: 0.05,
+            adc: 1500.0,
+            driver_per_row: 1.2,
+            shift_add: 250.0,
+            mux: 80.0,
+            accumulator: 300.0,
+            sram_per_byte: 1.4,
+            lif_module: 900.0,
+            sigma_e_logic: 4200.0,
+        }
+    }
+}
+
+/// Area split of a mapped network, µm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Crossbar arrays.
+    pub crossbars: f64,
+    /// ADCs (shared `adc_mux_ratio`:1 across columns).
+    pub adcs: f64,
+    /// Drivers, muxes, shift-&-add (the digital peripherals).
+    pub peripherals: f64,
+    /// PE/tile/global accumulators.
+    pub accumulators: f64,
+    /// PE/tile/global SRAM buffers.
+    pub buffers: f64,
+    /// LIF neuron modules.
+    pub lif_modules: f64,
+    /// σ–E module (both LUTs + logic).
+    pub sigma_e: f64,
+}
+
+impl AreaReport {
+    /// Total area, µm².
+    pub fn total(&self) -> f64 {
+        self.crossbars
+            + self.adcs
+            + self.peripherals
+            + self.accumulators
+            + self.buffers
+            + self.lif_modules
+            + self.sigma_e
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total() / 1e6
+    }
+}
+
+/// Computes the silicon area of a mapped network.
+///
+/// # Errors
+///
+/// Returns [`crate::ImcError::InvalidConfig`] for invalid configurations.
+pub fn chip_area(
+    mapping: &ChipMapping,
+    config: &HardwareConfig,
+    constants: &AreaConstants,
+) -> Result<AreaReport> {
+    config.validate()?;
+    let xb = config.crossbar_size as f64;
+    let n_xbar = mapping.total_crossbars() as f64;
+    let n_tiles = mapping.total_tiles() as f64;
+    // per crossbar: cells, one ADC group (columns / mux), drivers per row
+    let adcs_per_xbar = (config.crossbar_size as f64 / config.adc_mux_ratio as f64).ceil();
+    let crossbars = n_xbar * xb * xb * constants.cell;
+    let adcs = n_xbar * adcs_per_xbar * constants.adc;
+    let peripherals = n_xbar
+        * (xb * constants.driver_per_row
+            + adcs_per_xbar * constants.mux
+            + config.slices_per_weight() as f64 * constants.shift_add);
+    // accumulators: one per crossbar (PE), one per tile, one global
+    let accumulators = (n_xbar + n_tiles + 1.0) * constants.accumulator;
+    // buffers: per-PE (crossbar group ≈ 4 crossbars), per tile, one global
+    let pe_groups = (n_xbar / 4.0).ceil();
+    let buffers = constants.sram_per_byte
+        * (pe_groups * config.pe_buffer_bytes as f64
+            + n_tiles * config.tile_buffer_bytes as f64
+            + config.global_buffer_bytes as f64);
+    // LIF modules: one per tile (time-multiplexed over the tile's neurons)
+    let lif_modules = n_tiles * constants.lif_module;
+    let sigma_e = constants.sram_per_byte
+        * (config.sigma_lut_bytes + config.entropy_lut_bytes) as f64
+        + constants.sigma_e_logic;
+    Ok(AreaReport { crossbars, adcs, peripherals, accumulators, buffers, lif_modules, sigma_e })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipMapping;
+    use dtsnn_snn::{vgg16_geometry, LayerGeometry};
+
+    fn vgg16_mapping() -> (ChipMapping, HardwareConfig) {
+        let config = HardwareConfig::default();
+        let mapping = ChipMapping::map(&vgg16_geometry(32, 3, 10), &config).unwrap();
+        (mapping, config)
+    }
+
+    #[test]
+    fn area_is_positive_and_dominated_by_arrays_or_adcs() {
+        let (mapping, config) = vgg16_mapping();
+        let report = chip_area(&mapping, &config, &AreaConstants::default()).unwrap();
+        assert!(report.total() > 0.0);
+        assert!(report.total_mm2() > 0.1, "VGG-16 should be ≥ 0.1 mm²");
+        // σ–E is a negligible fraction of the chip (the paper's design point)
+        assert!(report.sigma_e / report.total() < 0.01);
+    }
+
+    #[test]
+    fn higher_mux_ratio_reduces_adc_area() {
+        let (mapping, mut config) = vgg16_mapping();
+        let a8 = chip_area(&mapping, &config, &AreaConstants::default()).unwrap();
+        config.adc_mux_ratio = 16;
+        let a16 = chip_area(&mapping, &config, &AreaConstants::default()).unwrap();
+        assert!(a16.adcs < a8.adcs);
+    }
+
+    #[test]
+    fn area_scales_with_network_size() {
+        let config = HardwareConfig::default();
+        let small = ChipMapping::map(
+            &[LayerGeometry::Fc { in_features: 64, out_features: 10 }],
+            &config,
+        )
+        .unwrap();
+        let (large, _) = vgg16_mapping();
+        let a_small = chip_area(&small, &config, &AreaConstants::default()).unwrap();
+        let a_large = chip_area(&large, &config, &AreaConstants::default()).unwrap();
+        assert!(a_large.total() > 10.0 * a_small.total());
+    }
+
+    #[test]
+    fn sigma_e_area_tracks_lut_budget() {
+        let (mapping, mut config) = vgg16_mapping();
+        let base = chip_area(&mapping, &config, &AreaConstants::default()).unwrap();
+        config.sigma_lut_bytes *= 4;
+        config.entropy_lut_bytes *= 4;
+        let big = chip_area(&mapping, &config, &AreaConstants::default()).unwrap();
+        assert!(big.sigma_e > base.sigma_e);
+        assert_eq!(big.crossbars, base.crossbars);
+    }
+}

@@ -1,0 +1,220 @@
+//! Layer → crossbar/PE/tile mapping (Sec. III-B).
+//!
+//! Each weight-bearing layer is unrolled into a `[fan_in, fan_out]` matrix.
+//! Rows are split across ⌈rows/64⌉ crossbar row-groups; every weight needs
+//! `slices_per_weight` devices for magnitude plus a differential column pair
+//! for sign, so the column count per weight is `2 × slices`. The number of
+//! tiles a layer occupies follows from the crossbars-per-tile budget —
+//! exactly the factors the paper lists (crossbar size, channels, kernel
+//! size, crossbars per tile).
+
+use crate::{HardwareConfig, ImcError, Result};
+use dtsnn_snn::LayerGeometry;
+use serde::{Deserialize, Serialize};
+
+/// One layer's placement on the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappedLayer {
+    /// Unrolled weight-matrix rows (fan-in / crossbar wordlines).
+    pub rows: usize,
+    /// Unrolled weight-matrix columns (fan-out, before slicing).
+    pub cols: usize,
+    /// Physical columns after bit-slicing and differential pairing.
+    pub physical_cols: usize,
+    /// Row groups: ⌈rows / crossbar_size⌉.
+    pub row_segments: usize,
+    /// Column groups: ⌈physical_cols / crossbar_size⌉.
+    pub col_segments: usize,
+    /// Crossbars = row_segments × col_segments.
+    pub crossbars: usize,
+    /// Tiles = ⌈crossbars / crossbars_per_tile⌉.
+    pub tiles: usize,
+    /// Input-vector presentations per timestep (output pixels for convs).
+    pub vector_presentations: usize,
+    /// Output neurons per timestep (`cols × presentations`).
+    pub output_neurons: usize,
+    /// Whether the layer is the final classifier (drives the σ–E module).
+    pub is_classifier: bool,
+}
+
+/// A whole network mapped onto the chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipMapping {
+    layers: Vec<MappedLayer>,
+    crossbar_size: usize,
+}
+
+impl ChipMapping {
+    /// Maps a network's layer geometries onto the architecture. The last
+    /// layer is marked as the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] for invalid hardware parameters
+    /// and [`ImcError::UnmappableLayer`] for zero-extent layers.
+    pub fn map(geometries: &[LayerGeometry], config: &HardwareConfig) -> Result<Self> {
+        config.validate()?;
+        if geometries.is_empty() {
+            return Err(ImcError::UnmappableLayer("empty network".into()));
+        }
+        let n = geometries.len();
+        let layers = geometries
+            .iter()
+            .enumerate()
+            .map(|(i, g)| Self::map_layer(g, config, i == n - 1))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ChipMapping { layers, crossbar_size: config.crossbar_size })
+    }
+
+    fn map_layer(
+        geometry: &LayerGeometry,
+        config: &HardwareConfig,
+        is_classifier: bool,
+    ) -> Result<MappedLayer> {
+        let (rows, cols) = geometry.matrix_shape();
+        if rows == 0 || cols == 0 {
+            return Err(ImcError::UnmappableLayer(format!("zero-extent layer {geometry:?}")));
+        }
+        let xb = config.crossbar_size;
+        // 2 columns per slice: differential pair encodes signed weights.
+        let physical_cols = cols * config.slices_per_weight() * 2;
+        let row_segments = rows.div_ceil(xb);
+        let col_segments = physical_cols.div_ceil(xb);
+        let crossbars = row_segments * col_segments;
+        let tiles = crossbars.div_ceil(config.crossbars_per_tile);
+        let vector_presentations = geometry.vector_presentations();
+        Ok(MappedLayer {
+            rows,
+            cols,
+            physical_cols,
+            row_segments,
+            col_segments,
+            crossbars,
+            tiles,
+            vector_presentations,
+            output_neurons: cols * vector_presentations,
+            is_classifier,
+        })
+    }
+
+    /// Per-layer placements, in network order.
+    pub fn layers(&self) -> &[MappedLayer] {
+        &self.layers
+    }
+
+    /// Total crossbars occupied by the network.
+    pub fn total_crossbars(&self) -> usize {
+        self.layers.iter().map(|l| l.crossbars).sum()
+    }
+
+    /// Total tiles occupied by the network.
+    pub fn total_tiles(&self) -> usize {
+        self.layers.iter().map(|l| l.tiles).sum()
+    }
+
+    /// Total RRAM devices (cells) programmed.
+    pub fn total_devices(&self) -> usize {
+        self.total_crossbars() * self.crossbar_size * self.crossbar_size
+    }
+
+    /// Device utilization: programmed weights / available cells.
+    pub fn utilization(&self) -> f64 {
+        let used: usize = self
+            .layers
+            .iter()
+            .map(|l| l.rows * l.physical_cols)
+            .sum();
+        used as f64 / self.total_devices().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsnn_snn::{resnet19_geometry, vgg16_geometry};
+
+    fn config() -> HardwareConfig {
+        HardwareConfig::default()
+    }
+
+    #[test]
+    fn single_small_layer_fits_one_crossbar_group() {
+        // 27×8 conv: rows 27 ≤ 64; physical cols = 8×2×2 = 32 ≤ 64.
+        let g = [LayerGeometry::Conv {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_h: 16,
+            in_w: 16,
+        }];
+        let m = ChipMapping::map(&g, &config()).unwrap();
+        let l = &m.layers()[0];
+        assert_eq!(l.rows, 27);
+        assert_eq!(l.physical_cols, 32);
+        assert_eq!(l.row_segments, 1);
+        assert_eq!(l.col_segments, 1);
+        assert_eq!(l.crossbars, 1);
+        assert_eq!(l.tiles, 1);
+        assert!(l.is_classifier);
+    }
+
+    #[test]
+    fn crossbar_count_scales_with_layer_size() {
+        // 512→512 3×3 conv: rows 4608 → 72 segments; cols 512×4=2048 → 32.
+        let g = [LayerGeometry::Conv {
+            in_channels: 512,
+            out_channels: 512,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_h: 2,
+            in_w: 2,
+        }];
+        let m = ChipMapping::map(&g, &config()).unwrap();
+        let l = &m.layers()[0];
+        assert_eq!(l.row_segments, 72);
+        assert_eq!(l.col_segments, 32);
+        assert_eq!(l.crossbars, 72 * 32);
+        assert_eq!(l.tiles, (72 * 32usize).div_ceil(64));
+    }
+
+    #[test]
+    fn vgg16_mapping_totals() {
+        let m = ChipMapping::map(&vgg16_geometry(32, 3, 10), &config()).unwrap();
+        assert_eq!(m.layers().len(), 16);
+        assert!(m.total_crossbars() > 1000, "{}", m.total_crossbars());
+        assert!(m.total_tiles() >= m.layers().len());
+        // only the last layer is the classifier
+        let classifiers = m.layers().iter().filter(|l| l.is_classifier).count();
+        assert_eq!(classifiers, 1);
+        assert!(m.layers().last().unwrap().is_classifier);
+        let u = m.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn resnet19_maps() {
+        let m = ChipMapping::map(&resnet19_geometry(32, 3, 10), &config()).unwrap();
+        assert!(m.total_crossbars() > 500);
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(matches!(
+            ChipMapping::map(&[], &config()),
+            Err(ImcError::UnmappableLayer(_))
+        ));
+    }
+
+    #[test]
+    fn wider_devices_halve_slices_and_columns() {
+        let g = [LayerGeometry::Fc { in_features: 64, out_features: 64 }];
+        let narrow = ChipMapping::map(&g, &config()).unwrap();
+        let mut wide_cfg = config();
+        wide_cfg.device_bits = 8;
+        let wide = ChipMapping::map(&g, &wide_cfg).unwrap();
+        assert_eq!(narrow.layers()[0].physical_cols, 2 * wide.layers()[0].physical_cols);
+    }
+}

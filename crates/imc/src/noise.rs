@@ -1,0 +1,226 @@
+//! Device non-idealities (Fig. 6(B)).
+//!
+//! Weights deployed on RRAM are quantized to `weight_bits`, the magnitude is
+//! split into `device_bits` slices stored on a differential column pair, and
+//! every device's conductance carries multiplicative Gaussian variation
+//! (σ/μ = 20% in Table I). The finite `R_off/R_on` ratio leaves a nonzero
+//! "off" conductance whose variation does not cancel between the
+//! differential columns. [`perturb_network`] applies this model post-training
+//! to a trained [`Snn`], exactly as the paper does ("adding noise to the
+//! weights post-training").
+
+use crate::{HardwareConfig, Result};
+use dtsnn_snn::Snn;
+use dtsnn_tensor::TensorRng;
+
+/// Device-variation model bound to a hardware configuration.
+#[derive(Debug, Clone)]
+pub struct DeviceNoise {
+    levels: i64,
+    slices: usize,
+    device_bits: u32,
+    sigma_over_mu: f64,
+    /// g_min / g_max = R_on / R_off (conductance of the "off" level relative
+    /// to full scale).
+    g_min_ratio: f64,
+}
+
+impl DeviceNoise {
+    /// Builds the noise model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ImcError::InvalidConfig`] for invalid hardware parameters.
+    pub fn new(config: &HardwareConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(DeviceNoise {
+            levels: 1i64 << (config.weight_bits - 1),
+            slices: config.slices_per_weight(),
+            device_bits: config.device_bits,
+            sigma_over_mu: config.sigma_over_mu,
+            g_min_ratio: 1.0 / config.r_off_ratio,
+        })
+    }
+
+    /// Quantizes a weight tensor's values to `weight_bits` signed levels and
+    /// reconstructs them through the noisy device model.
+    ///
+    /// `scale` is the full-scale weight magnitude (max |w| of the tensor).
+    pub fn read_weight(&self, w: f32, scale: f32, rng: &mut TensorRng) -> f32 {
+        if scale <= 0.0 {
+            return 0.0;
+        }
+        let delta = scale / self.levels as f32;
+        let q = ((w / delta).round() as i64).clamp(-self.levels, self.levels - 1);
+        let magnitude = q.unsigned_abs();
+        let sign = if q < 0 { -1.0 } else { 1.0 };
+        // split magnitude into device_bits slices, most significant first
+        let device_levels = (1u64 << self.device_bits) - 1;
+        let mut reconstructed = 0.0f64;
+        let mut weight_of_slice = 1u64 << (self.device_bits * (self.slices as u32 - 1));
+        for s in 0..self.slices {
+            let lvl = (magnitude >> (self.device_bits * (self.slices - 1 - s) as u32))
+                & device_levels;
+            // conductance: g_min + lvl/levels_max × (1 − g_min); both the
+            // positive device and its differential reference carry variation.
+            let g_ideal = self.g_min_ratio + (lvl as f64 / device_levels as f64) * (1.0 - self.g_min_ratio);
+            let g_noisy = g_ideal * (1.0 + rng.normal(0.0, self.sigma_over_mu as f32) as f64);
+            let g_ref_noisy =
+                self.g_min_ratio * (1.0 + rng.normal(0.0, self.sigma_over_mu as f32) as f64);
+            let lvl_read = (g_noisy - g_ref_noisy) / (1.0 - self.g_min_ratio)
+                * device_levels as f64;
+            reconstructed += lvl_read * weight_of_slice as f64;
+            weight_of_slice >>= self.device_bits;
+        }
+        sign * (reconstructed as f32) * delta
+    }
+}
+
+/// Quantize-then-dequantize a weight without device noise (the ideal 8-bit
+/// deployment). Useful for separating quantization loss from variation loss.
+pub fn quantize_dequantize(w: f32, scale: f32, weight_bits: u32) -> f32 {
+    if scale <= 0.0 {
+        return 0.0;
+    }
+    let levels = 1i64 << (weight_bits - 1);
+    let delta = scale / levels as f32;
+    let q = ((w / delta).round() as i64).clamp(-levels, levels - 1);
+    q as f32 * delta
+}
+
+/// Applies the device model to every crossbar-mapped parameter of a trained
+/// network (those with weight decay: conv and linear weights; BN parameters
+/// and biases stay digital).
+///
+/// # Errors
+///
+/// Returns [`crate::ImcError::InvalidConfig`] for invalid hardware parameters.
+pub fn perturb_network(
+    network: &mut Snn,
+    config: &HardwareConfig,
+    rng: &mut TensorRng,
+) -> Result<()> {
+    let model = DeviceNoise::new(config)?;
+    let mut local = rng.fork(0x1107);
+    network.visit_params(&mut |p| {
+        if !p.decay {
+            return;
+        }
+        let scale = p.value.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for v in p.value.data_mut() {
+            *v = model.read_weight(*v, scale, &mut local);
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsnn_snn::{vgg_small, ModelConfig};
+
+    #[test]
+    fn quantization_is_exact_for_grid_values() {
+        // values on the quantization grid survive round-trip
+        let scale = 1.0;
+        for q in [-128i64, -64, 0, 63, 127] {
+            let w = q as f32 / 128.0;
+            let back = quantize_dequantize(w, scale, 8);
+            assert!((back - w).abs() < 1e-6, "{w} → {back}");
+        }
+        assert_eq!(quantize_dequantize(0.5, 0.0, 8), 0.0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let scale = 1.0;
+        let lsb = 1.0 / 128.0;
+        let mut w = -0.999;
+        while w < 0.999 {
+            let back = quantize_dequantize(w, scale, 8);
+            assert!((back - w).abs() <= 0.5 * lsb + 1e-6, "w={w} err={}", (back - w).abs());
+            w += 0.0137;
+        }
+    }
+
+    #[test]
+    fn noiseless_device_model_matches_quantization() {
+        let c = HardwareConfig { sigma_over_mu: 0.0, ..HardwareConfig::default() };
+        let model = DeviceNoise::new(&c).unwrap();
+        let mut rng = TensorRng::seed_from(1);
+        for &w in &[-0.7f32, -0.2, 0.0, 0.33, 0.91] {
+            let read = model.read_weight(w, 1.0, &mut rng);
+            let ideal = quantize_dequantize(w, 1.0, 8);
+            assert!((read - ideal).abs() < 1e-4, "{w}: {read} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn noise_is_zero_mean_and_proportional() {
+        let model = DeviceNoise::new(&HardwareConfig::default()).unwrap();
+        let mut rng = TensorRng::seed_from(2);
+        let w = 0.5f32;
+        let n = 4000;
+        let reads: Vec<f32> = (0..n).map(|_| model.read_weight(w, 1.0, &mut rng)).collect();
+        let mean = reads.iter().sum::<f32>() / n as f32;
+        assert!((mean - w).abs() < 0.01, "mean {mean}");
+        let std = (reads.iter().map(|r| (r - mean).powi(2)).sum::<f32>() / n as f32).sqrt();
+        assert!(std > 0.01 && std < 0.2, "std {std}");
+    }
+
+    #[test]
+    fn higher_variation_gives_noisier_reads() {
+        let lo_cfg = HardwareConfig { sigma_over_mu: 0.05, ..HardwareConfig::default() };
+        let hi_cfg = HardwareConfig { sigma_over_mu: 0.40, ..HardwareConfig::default() };
+        let lo = DeviceNoise::new(&lo_cfg).unwrap();
+        let hi = DeviceNoise::new(&hi_cfg).unwrap();
+        let spread = |m: &DeviceNoise, seed| {
+            let mut rng = TensorRng::seed_from(seed);
+            let reads: Vec<f32> = (0..2000).map(|_| m.read_weight(0.5, 1.0, &mut rng)).collect();
+            let mean = reads.iter().sum::<f32>() / reads.len() as f32;
+            (reads.iter().map(|r| (r - mean).powi(2)).sum::<f32>() / reads.len() as f32).sqrt()
+        };
+        assert!(spread(&hi, 3) > 2.0 * spread(&lo, 3));
+    }
+
+    #[test]
+    fn perturb_network_changes_only_decayed_params() {
+        let mut rng = TensorRng::seed_from(4);
+        let cfg = ModelConfig::default();
+        let mut net = vgg_small(&cfg, &mut rng).unwrap();
+        // snapshot params
+        let mut before_decay = Vec::new();
+        let mut before_rest = Vec::new();
+        net.visit_params(&mut |p| {
+            if p.decay {
+                before_decay.push(p.value.clone());
+            } else {
+                before_rest.push(p.value.clone());
+            }
+        });
+        perturb_network(&mut net, &HardwareConfig::default(), &mut rng).unwrap();
+        let mut after_decay = Vec::new();
+        let mut after_rest = Vec::new();
+        net.visit_params(&mut |p| {
+            if p.decay {
+                after_decay.push(p.value.clone());
+            } else {
+                after_rest.push(p.value.clone());
+            }
+        });
+        assert_eq!(before_rest, after_rest, "non-crossbar params must be untouched");
+        let changed = before_decay
+            .iter()
+            .zip(&after_decay)
+            .any(|(a, b)| a.data().iter().zip(b.data()).any(|(x, y)| (x - y).abs() > 1e-6));
+        assert!(changed, "crossbar weights must be perturbed");
+        // perturbation is bounded: relative Frobenius error below 100%
+        let num: f32 = before_decay
+            .iter()
+            .zip(&after_decay)
+            .map(|(a, b)| a.sub(b).unwrap().norm_sq())
+            .sum();
+        let den: f32 = before_decay.iter().map(|a| a.norm_sq()).sum();
+        assert!(num / den < 1.0, "relative error {}", num / den);
+    }
+}

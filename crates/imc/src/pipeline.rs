@@ -1,0 +1,214 @@
+//! Timestep scheduling: sequential (the paper's DT-SNN choice) vs. pipelined.
+//!
+//! Sec. III-B: *"Timesteps are processed sequentially without pipelining.
+//! This eliminates the delay and hardware overhead (energy and area cost)
+//! required to empty the pipeline in case of dynamic timestep inference."*
+//!
+//! This module models the alternative the paper rejected, so the design
+//! choice can be quantified: with layers pipelined across timesteps, a
+//! static SNN gains throughput (latency ≈ fill + (T−1)·bottleneck), but a
+//! dynamic-timestep SNN must keep *speculative* timesteps in flight while
+//! the σ–E module decides whether to exit — on an early exit those
+//! speculative timesteps are wasted energy and the pipeline must drain.
+
+use crate::energy::{Component, CostModel, InferenceCost};
+use crate::{ImcError, Result};
+use serde::{Deserialize, Serialize};
+
+/// How timesteps are scheduled onto the tiled datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TimestepSchedule {
+    /// One timestep fully traverses the network before the next starts —
+    /// the paper's DT-SNN design point (no flush cost on exit).
+    #[default]
+    Sequential,
+    /// Layers act as pipeline stages; timestep `t+1` enters layer 1 while
+    /// timestep `t` is in layer 2, etc. Higher static throughput, but
+    /// dynamic exits waste in-flight speculative timesteps.
+    Pipelined,
+}
+
+/// Relative energy overhead of pipeline registers/control per dynamic
+/// energy unit (the "hardware overhead" the paper mentions).
+const PIPELINE_ENERGY_OVERHEAD: f64 = 0.06;
+
+impl CostModel {
+    /// Cycles of the slowest pipeline stage (one layer, one timestep).
+    pub fn bottleneck_stage_cycles(&self) -> u64 {
+        let l = &self.config().latency;
+        let xb = self.config().crossbar_size as u64;
+        let mux = self.config().adc_mux_ratio as u64;
+        self.mapping()
+            .layers()
+            .iter()
+            .map(|layer| {
+                let cols_per_xbar = (layer.physical_cols as u64).min(xb);
+                let conversions = cols_per_xbar.div_ceil(mux);
+                let per_vector = l.crossbar_read + conversions * l.adc + l.shift_add;
+                l.layer_overhead + layer.vector_presentations as u64 * per_vector
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Timesteps that are speculatively in flight when the exit decision for
+    /// timestep `t` becomes available: the decision needs `t` to finish the
+    /// whole pipeline, during which ⌈fill/bottleneck⌉ − 1 further timesteps
+    /// have entered.
+    pub fn speculative_depth(&self) -> f64 {
+        let fill = self.timestep_latency() as f64;
+        let stage = self.bottleneck_stage_cycles().max(1) as f64;
+        (fill / stage - 1.0).max(0.0)
+    }
+
+    /// Cost of one inference under the given schedule.
+    ///
+    /// `timesteps` is the (possibly dataset-averaged, fractional) number of
+    /// *useful* timesteps; for [`TimestepSchedule::Pipelined`] with a
+    /// dynamic exit (`classes = Some(..)` and `timesteps < t_max`), the
+    /// speculatively issued timesteps are charged as wasted energy, capped
+    /// at `t_max`, and the drain delay is added to latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] for non-positive or inconsistent
+    /// timestep counts, plus density mismatches.
+    pub fn inference_cost_scheduled(
+        &self,
+        densities: &[f32],
+        timesteps: f64,
+        t_max: usize,
+        classes: Option<usize>,
+        schedule: TimestepSchedule,
+    ) -> Result<InferenceCost> {
+        if timesteps > t_max as f64 {
+            return Err(ImcError::InvalidConfig(format!(
+                "timesteps {timesteps} exceeds window {t_max}"
+            )));
+        }
+        match schedule {
+            TimestepSchedule::Sequential => self.inference_cost(densities, timesteps, classes),
+            TimestepSchedule::Pipelined => {
+                // energy: useful + speculative timesteps (dynamic exits only),
+                // plus pipeline-register overhead on all dynamic energy
+                let speculative = if classes.is_some() && timesteps < t_max as f64 {
+                    self.speculative_depth().min(t_max as f64 - timesteps)
+                } else {
+                    0.0
+                };
+                let executed = timesteps + speculative;
+                let per_t = self.timestep_energy(densities)?;
+                let mut energy = per_t.scaled(executed * (1.0 + PIPELINE_ENERGY_OVERHEAD));
+                energy.accumulate(&self.fixed_energy(densities)?);
+                // latency: fill + (T_useful − 1) stages + drain of in-flight work
+                let fill = self.timestep_latency() as f64;
+                let stage = self.bottleneck_stage_cycles() as f64;
+                let mut latency = fill + (timesteps - 1.0).max(0.0) * stage + speculative * stage;
+                if let Some(k) = classes {
+                    energy.add(Component::SigmaE, self.sigma_e_energy(k) * timesteps);
+                    latency += self.sigma_e_latency(k) as f64 * timesteps;
+                }
+                Ok(InferenceCost {
+                    energy,
+                    latency_cycles: latency.round() as u64,
+                    clock_ns: self.config().latency.clock_ns,
+                    timesteps: executed,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChipMapping, HardwareConfig};
+    use dtsnn_snn::vgg16_geometry;
+
+    fn model() -> CostModel {
+        let config = HardwareConfig::default();
+        let mapping = ChipMapping::map(&vgg16_geometry(32, 3, 10), &config).unwrap();
+        CostModel::new(mapping, config).unwrap()
+    }
+
+    fn densities(model: &CostModel) -> Vec<f32> {
+        let mut d = vec![0.2f32; model.mapping().layers().len()];
+        d[0] = 1.0;
+        d
+    }
+
+    #[test]
+    fn bottleneck_is_at_most_the_full_traversal() {
+        let m = model();
+        assert!(m.bottleneck_stage_cycles() > 0);
+        assert!(m.bottleneck_stage_cycles() <= m.timestep_latency());
+        assert!(m.speculative_depth() >= 0.0);
+    }
+
+    #[test]
+    fn pipelining_wins_for_static_inference_latency() {
+        // the classic trade: static SNN throughput benefits from pipelining
+        let m = model();
+        let d = densities(&m);
+        let seq = m
+            .inference_cost_scheduled(&d, 4.0, 4, None, TimestepSchedule::Sequential)
+            .unwrap();
+        let pipe = m
+            .inference_cost_scheduled(&d, 4.0, 4, None, TimestepSchedule::Pipelined)
+            .unwrap();
+        assert!(pipe.latency_cycles < seq.latency_cycles);
+    }
+
+    #[test]
+    fn sequential_wins_for_dynamic_exit_energy() {
+        // the paper's design point: with early exits the pipelined schedule
+        // wastes speculative timesteps
+        let m = model();
+        let d = densities(&m);
+        let seq = m
+            .inference_cost_scheduled(&d, 1.5, 4, Some(10), TimestepSchedule::Sequential)
+            .unwrap();
+        let pipe = m
+            .inference_cost_scheduled(&d, 1.5, 4, Some(10), TimestepSchedule::Pipelined)
+            .unwrap();
+        assert!(
+            pipe.energy_pj() > seq.energy_pj(),
+            "pipelined {} should waste speculative energy vs sequential {}",
+            pipe.energy_pj(),
+            seq.energy_pj()
+        );
+        // executed timesteps include the speculation
+        assert!(pipe.timesteps > seq.timesteps);
+    }
+
+    #[test]
+    fn no_speculation_at_full_window() {
+        let m = model();
+        let d = densities(&m);
+        let pipe = m
+            .inference_cost_scheduled(&d, 4.0, 4, Some(10), TimestepSchedule::Pipelined)
+            .unwrap();
+        assert!((pipe.timesteps - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_timesteps_beyond_window() {
+        let m = model();
+        let d = densities(&m);
+        assert!(m
+            .inference_cost_scheduled(&d, 5.0, 4, None, TimestepSchedule::Pipelined)
+            .is_err());
+    }
+
+    #[test]
+    fn sequential_schedule_matches_plain_cost() {
+        let m = model();
+        let d = densities(&m);
+        let a = m.inference_cost(&d, 2.0, Some(10)).unwrap();
+        let b = m
+            .inference_cost_scheduled(&d, 2.0, 4, Some(10), TimestepSchedule::Sequential)
+            .unwrap();
+        assert_eq!(a.latency_cycles, b.latency_cycles);
+        assert!((a.energy_pj() - b.energy_pj()).abs() < 1e-9);
+    }
+}

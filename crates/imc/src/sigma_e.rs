@@ -1,0 +1,229 @@
+//! Functional model of the σ–E module (Fig. 3(b)).
+//!
+//! The hardware computes softmax and entropy with lookup tables: classifier
+//! outputs are quantized into the y-FIFO, exponentials come from the σ-LUT,
+//! logarithms from the E-LUT, and a multiplier-accumulator folds Eq. 7. This
+//! module reproduces that datapath bit-faithfully enough to quantify the
+//! quantization error against exact floating-point entropy — the exit
+//! decisions made on hardware match the algorithmic ones for any sane
+//! threshold.
+
+use crate::{HardwareConfig, ImcError, Result};
+
+/// One σ–E evaluation: quantized softmax, entropy, and the exit decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigmaEReading {
+    /// LUT-computed class probabilities.
+    pub probabilities: Vec<f32>,
+    /// LUT-computed normalized entropy (Eq. 7), in `[0, 1]`.
+    pub entropy: f32,
+    /// Whether `entropy < θ` — terminate inference and load the next input.
+    pub exit: bool,
+}
+
+/// LUT-based softmax + entropy engine with the paper's 3 KB tables.
+#[derive(Debug, Clone)]
+pub struct SigmaEModule {
+    /// exp LUT over the clamped logit range.
+    exp_lut: Vec<f32>,
+    /// −p·log(p) LUT over p ∈ [0, 1].
+    plogp_lut: Vec<f32>,
+    /// Quantization range for logits (symmetric ±range).
+    logit_range: f32,
+}
+
+impl SigmaEModule {
+    /// Builds the LUTs from the hardware configuration (entry counts are
+    /// `table_bytes / 4` for f32 entries, as in Table I's 3 KB σ and E LUTs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] when a table is smaller than 16
+    /// entries.
+    pub fn new(config: &HardwareConfig) -> Result<Self> {
+        let exp_entries = config.sigma_lut_bytes / 4;
+        let log_entries = config.entropy_lut_bytes / 4;
+        if exp_entries < 16 || log_entries < 16 {
+            return Err(ImcError::InvalidConfig("σ/E LUTs need at least 64 bytes".into()));
+        }
+        let logit_range = 8.0f32;
+        let exp_lut = (0..exp_entries)
+            .map(|i| {
+                // address space covers [-2·range, 0] after max-subtraction
+                let x = -2.0 * logit_range * (1.0 - i as f32 / (exp_entries - 1) as f32);
+                x.exp()
+            })
+            .collect();
+        let plogp_lut = (0..log_entries)
+            .map(|i| {
+                let p = i as f32 / (log_entries - 1) as f32;
+                if p <= 0.0 {
+                    0.0
+                } else {
+                    -p * p.ln()
+                }
+            })
+            .collect();
+        Ok(SigmaEModule { exp_lut, plogp_lut, logit_range })
+    }
+
+    /// Entries in the σ (exp) LUT.
+    pub fn sigma_lut_len(&self) -> usize {
+        self.exp_lut.len()
+    }
+
+    /// Entries in the E (−p·log p) LUT.
+    pub fn entropy_lut_len(&self) -> usize {
+        self.plogp_lut.len()
+    }
+
+    fn exp_lookup(&self, shifted_logit: f32) -> f32 {
+        // shifted logits are ≤ 0 after max subtraction; clamp to LUT domain
+        let x = shifted_logit.clamp(-2.0 * self.logit_range, 0.0);
+        let frac = 1.0 + x / (2.0 * self.logit_range);
+        let idx = (frac * (self.exp_lut.len() - 1) as f32).round() as usize;
+        self.exp_lut[idx.min(self.exp_lut.len() - 1)]
+    }
+
+    fn plogp_lookup(&self, p: f32) -> f32 {
+        let p = p.clamp(0.0, 1.0);
+        let idx = (p * (self.plogp_lut.len() - 1) as f32).round() as usize;
+        self.plogp_lut[idx.min(self.plogp_lut.len() - 1)]
+    }
+
+    /// Evaluates one timestep's accumulated classifier output against the
+    /// exit threshold `theta` (Eq. 8's comparison for a single candidate T̂).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] for fewer than 2 classes.
+    pub fn evaluate(&self, logits: &[f32], theta: f32) -> Result<SigmaEReading> {
+        let k = logits.len();
+        if k < 2 {
+            return Err(ImcError::InvalidConfig("σ–E module needs ≥ 2 classes".into()));
+        }
+        // y-FIFO → σ-LUT: exp of max-shifted logits.
+        let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&y| self.exp_lookup(y - mx)).collect();
+        let z: f32 = exps.iter().sum();
+        let probabilities: Vec<f32> = exps.iter().map(|&e| e / z.max(1e-12)).collect();
+        // Entropy module: Σ −p·log p via LUT + MAC, normalized by log K.
+        let raw: f32 = probabilities.iter().map(|&p| self.plogp_lookup(p)).sum();
+        let entropy = (raw / (k as f32).ln()).clamp(0.0, 1.0);
+        Ok(SigmaEReading { probabilities, entropy, exit: entropy < theta })
+    }
+}
+
+/// Exact (floating-point) normalized entropy of Eq. 7 — the reference the
+/// LUT datapath is validated against, and the function the algorithmic
+/// policy in `dtsnn-core` uses.
+pub fn exact_normalized_entropy(probabilities: &[f32]) -> f32 {
+    let k = probabilities.len().max(2);
+    let raw: f32 = probabilities
+        .iter()
+        .map(|&p| if p > 0.0 { -p * p.ln() } else { 0.0 })
+        .sum();
+    (raw / (k as f32).ln()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsnn_tensor::TensorRng;
+
+    fn module() -> SigmaEModule {
+        SigmaEModule::new(&HardwareConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn lut_sizes_match_table1_budget() {
+        let m = module();
+        // 3 KB of f32 entries = 768
+        assert_eq!(m.sigma_lut_len(), 768);
+        assert_eq!(m.entropy_lut_len(), 768);
+    }
+
+    #[test]
+    fn uniform_logits_read_entropy_one() {
+        let m = module();
+        let r = m.evaluate(&[0.3; 10], 0.5).unwrap();
+        assert!((r.entropy - 1.0).abs() < 0.02, "entropy {}", r.entropy);
+        assert!(!r.exit);
+        for p in &r.probabilities {
+            assert!((p - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn confident_logits_read_entropy_near_zero_and_exit() {
+        let m = module();
+        let mut logits = [0.0f32; 10];
+        logits[3] = 12.0;
+        let r = m.evaluate(&logits, 0.1).unwrap();
+        assert!(r.entropy < 0.05, "entropy {}", r.entropy);
+        assert!(r.exit);
+        assert!(r.probabilities[3] > 0.95);
+    }
+
+    #[test]
+    fn lut_entropy_tracks_exact_entropy() {
+        let m = module();
+        let mut rng = TensorRng::seed_from(1);
+        let mut max_err = 0.0f32;
+        for _ in 0..200 {
+            let logits: Vec<f32> = (0..10).map(|_| rng.uniform(-4.0, 4.0)).collect();
+            let r = m.evaluate(&logits, 0.5).unwrap();
+            // exact softmax for reference
+            let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|&y| (y - mx).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            let p: Vec<f32> = exps.iter().map(|&e| e / z).collect();
+            let exact = exact_normalized_entropy(&p);
+            max_err = max_err.max((r.entropy - exact).abs());
+        }
+        assert!(max_err < 0.02, "max LUT entropy error {max_err}");
+    }
+
+    #[test]
+    fn exit_decisions_match_exact_policy() {
+        // For thresholds away from the quantization error the hardware and
+        // the algorithmic policy agree on exit/continue.
+        let m = module();
+        let mut rng = TensorRng::seed_from(2);
+        let mut agreements = 0;
+        let n = 300;
+        for _ in 0..n {
+            let logits: Vec<f32> = (0..10).map(|_| rng.uniform(-5.0, 5.0)).collect();
+            let theta = rng.uniform(0.1, 0.9);
+            let r = m.evaluate(&logits, theta).unwrap();
+            let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|&y| (y - mx).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            let p: Vec<f32> = exps.iter().map(|&e| e / z).collect();
+            let exact_exit = exact_normalized_entropy(&p) < theta;
+            if exact_exit == r.exit {
+                agreements += 1;
+            }
+        }
+        assert!(agreements as f32 / n as f32 > 0.97, "agreement {agreements}/{n}");
+    }
+
+    #[test]
+    fn exact_entropy_bounds() {
+        assert_eq!(exact_normalized_entropy(&[1.0, 0.0]), 0.0);
+        let u = exact_normalized_entropy(&[0.25; 4]);
+        assert!((u - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn too_few_classes_rejected() {
+        let m = module();
+        assert!(m.evaluate(&[1.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn tiny_lut_rejected() {
+        let c = HardwareConfig { sigma_lut_bytes: 8, ..HardwareConfig::default() };
+        assert!(SigmaEModule::new(&c).is_err());
+    }
+}

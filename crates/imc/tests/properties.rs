@@ -1,0 +1,151 @@
+//! Property-based tests of the hardware model: mapping arithmetic, cost
+//! additivity, device-model bounds.
+
+use dtsnn_imc::{
+    exact_normalized_entropy, quantize_dequantize, ChipMapping, CostModel, DeviceNoise,
+    HardwareConfig, NocModel, SigmaEModule, TimestepSchedule,
+};
+use dtsnn_snn::LayerGeometry;
+use dtsnn_tensor::TensorRng;
+use proptest::prelude::*;
+
+fn conv_geometry(cin: usize, cout: usize, k: usize, hw: usize) -> LayerGeometry {
+    LayerGeometry::Conv {
+        in_channels: cin,
+        out_channels: cout,
+        kernel: k,
+        stride: 1,
+        padding: k / 2,
+        in_h: hw,
+        in_w: hw,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapping_covers_all_weights(
+        cin in 1usize..64,
+        cout in 1usize..128,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        hw in 4usize..16,
+    ) {
+        let config = HardwareConfig::default();
+        let g = [conv_geometry(cin, cout, k, hw)];
+        let m = ChipMapping::map(&g, &config).unwrap();
+        let layer = &m.layers()[0];
+        // every physical column/row is covered by the allocated crossbars
+        prop_assert!(layer.row_segments * config.crossbar_size >= layer.rows);
+        prop_assert!(layer.col_segments * config.crossbar_size >= layer.physical_cols);
+        prop_assert_eq!(layer.crossbars, layer.row_segments * layer.col_segments);
+        prop_assert!(layer.tiles * config.crossbars_per_tile >= layer.crossbars);
+        let u = m.utilization();
+        prop_assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn energy_is_additive_over_layers(
+        cout1 in 2usize..32,
+        cout2 in 2usize..32,
+        density in 0.05f32..0.9,
+    ) {
+        // the cost of a two-layer network equals the sum of the single-layer
+        // costs at the same densities
+        let config = HardwareConfig::default();
+        let g1 = conv_geometry(3, cout1, 3, 8);
+        let g2 = conv_geometry(cout1, cout2, 3, 8);
+        let both = CostModel::new(ChipMapping::map(&[g1, g2], &config).unwrap(), config.clone()).unwrap();
+        let only1 = CostModel::new(ChipMapping::map(&[g1], &config).unwrap(), config.clone()).unwrap();
+        let only2 = CostModel::new(ChipMapping::map(&[g2], &config).unwrap(), config.clone()).unwrap();
+        let e_both = both.timestep_energy(&[1.0, density]).unwrap().total();
+        let e_sum = only1.timestep_energy(&[1.0]).unwrap().total()
+            + only2.timestep_energy(&[density]).unwrap().total();
+        // the last layer of every mapping is the classifier and skips LIF
+        // energy, so the stacked network carries exactly one extra LIF term
+        // for its (now non-final) first layer
+        let lif_extra = both.mapping().layers()[0].output_neurons as f64
+            * both.config().energy.lif_update;
+        prop_assert!(
+            (e_both - (e_sum + lif_extra)).abs() < 1e-6 * e_sum.max(1.0),
+            "both {e_both} vs sum {e_sum} + lif {lif_extra}"
+        );
+    }
+
+    #[test]
+    fn latency_additive_and_pipeline_bounded(
+        cout1 in 2usize..32,
+        cout2 in 2usize..32,
+    ) {
+        let config = HardwareConfig::default();
+        let g = [conv_geometry(3, cout1, 3, 8), conv_geometry(cout1, cout2, 3, 8)];
+        let model = CostModel::new(ChipMapping::map(&g, &config).unwrap(), config).unwrap();
+        // the bottleneck stage can never exceed the full traversal
+        prop_assert!(model.bottleneck_stage_cycles() <= model.timestep_latency());
+        // pipelined static latency never exceeds sequential
+        let d = [1.0f32, 0.3];
+        let seq = model
+            .inference_cost_scheduled(&d, 4.0, 4, None, TimestepSchedule::Sequential)
+            .unwrap();
+        let pipe = model
+            .inference_cost_scheduled(&d, 4.0, 4, None, TimestepSchedule::Pipelined)
+            .unwrap();
+        prop_assert!(pipe.latency_cycles <= seq.latency_cycles);
+    }
+
+    #[test]
+    fn device_read_error_is_bounded(
+        w in -1.0f32..1.0,
+        sigma in 0.0f64..0.3,
+        seed in 0u64..500,
+    ) {
+        let config = HardwareConfig { sigma_over_mu: sigma, ..HardwareConfig::default() };
+        let model = DeviceNoise::new(&config).unwrap();
+        let mut rng = TensorRng::seed_from(seed);
+        let read = model.read_weight(w, 1.0, &mut rng);
+        prop_assert!(read.is_finite());
+        // reads stay within a generous envelope of the true value
+        prop_assert!((read - w).abs() < 1.0 + 4.0 * sigma as f32, "w={w} read={read}");
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_one_lsb(w in -1.0f32..1.0, bits in 2u32..10) {
+        let q = quantize_dequantize(w, 1.0, bits);
+        let lsb = 1.0 / (1i64 << (bits - 1)) as f32;
+        // half an LSB inside the representable range; up to one LSB at the
+        // positive rail, where the signed code clamps at scale − LSB
+        let bound = if w > 1.0 - lsb { lsb } else { 0.5 * lsb };
+        prop_assert!((q - w).abs() <= bound + 1e-6, "w={w} q={q} lsb={lsb}");
+    }
+
+    #[test]
+    fn sigma_e_entropy_in_unit_interval(
+        logits in proptest::collection::vec(-8.0f32..8.0, 4..16),
+        theta in 0.05f32..0.95,
+    ) {
+        let module = SigmaEModule::new(&HardwareConfig::default()).unwrap();
+        let r = module.evaluate(&logits, theta).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.entropy));
+        let s: f32 = r.probabilities.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-3);
+        // exit decision is consistent with the reported entropy
+        prop_assert_eq!(r.exit, r.entropy < theta);
+        // LUT entropy close to exact entropy of the LUT's own distribution
+        let exact = exact_normalized_entropy(&r.probabilities);
+        prop_assert!((r.entropy - exact).abs() < 0.05);
+    }
+
+    #[test]
+    fn noc_energy_scales_linearly(
+        cout in 4usize..64,
+        d1 in 0.05f32..0.45,
+    ) {
+        let config = HardwareConfig::default();
+        let g = [conv_geometry(3, cout, 3, 8), conv_geometry(cout, cout, 3, 8)];
+        let mapping = ChipMapping::map(&g, &config).unwrap();
+        let noc = NocModel::new(&mapping, &config).unwrap();
+        let e1 = noc.timestep_energy(&[d1, d1]).unwrap();
+        let e2 = noc.timestep_energy(&[2.0 * d1, 2.0 * d1]).unwrap();
+        prop_assert!((e2 / e1 - 2.0).abs() < 1e-6);
+    }
+}

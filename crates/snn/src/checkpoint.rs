@@ -1,0 +1,221 @@
+//! Saving and restoring trained parameters.
+//!
+//! The format is a small self-describing little-endian binary: a magic
+//! string, the parameter count, then each parameter's shape and `f32` data
+//! in network visitation order. Loading validates every shape against the
+//! receiving network, so restoring into a differently-shaped architecture
+//! fails loudly instead of silently corrupting weights.
+
+use crate::network::Snn;
+use crate::{Result, SnnError};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DTSNN01\n";
+
+/// Serializes every learnable parameter of `network` to `path`.
+///
+/// # Errors
+///
+/// Returns [`SnnError::InvalidConfig`] wrapping any I/O failure.
+pub fn save_params(network: &mut Snn, path: impl AsRef<Path>) -> Result<()> {
+    let mut blob: Vec<u8> = Vec::new();
+    blob.extend_from_slice(MAGIC);
+    let mut count: u32 = 0;
+    network.visit_params(&mut |_| count += 1);
+    blob.extend_from_slice(&count.to_le_bytes());
+    network.visit_params(&mut |p| {
+        let dims = p.value.dims();
+        blob.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for &d in dims {
+            blob.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        for &v in p.value.data() {
+            blob.extend_from_slice(&v.to_le_bytes());
+        }
+    });
+    let mut file = std::fs::File::create(path.as_ref())
+        .map_err(|e| SnnError::InvalidConfig(format!("cannot create checkpoint: {e}")))?;
+    file.write_all(&blob)
+        .map_err(|e| SnnError::InvalidConfig(format!("cannot write checkpoint: {e}")))?;
+    Ok(())
+}
+
+/// Restores parameters saved by [`save_params`] into `network`.
+///
+/// # Errors
+///
+/// Returns [`SnnError::InvalidConfig`] when the file is malformed, the
+/// parameter count differs, or any shape disagrees with the network.
+pub fn load_params(network: &mut Snn, path: impl AsRef<Path>) -> Result<()> {
+    let mut blob = Vec::new();
+    std::fs::File::open(path.as_ref())
+        .map_err(|e| SnnError::InvalidConfig(format!("cannot open checkpoint: {e}")))?
+        .read_to_end(&mut blob)
+        .map_err(|e| SnnError::InvalidConfig(format!("cannot read checkpoint: {e}")))?;
+    let mut cursor = Cursor { blob: &blob, pos: 0 };
+    let magic = cursor.take(8)?;
+    if magic != MAGIC {
+        return Err(SnnError::InvalidConfig("not a DT-SNN checkpoint (bad magic)".into()));
+    }
+    let count = cursor.u32()? as usize;
+    let mut expected = 0usize;
+    network.visit_params(&mut |_| expected += 1);
+    if count != expected {
+        return Err(SnnError::InvalidConfig(format!(
+            "checkpoint has {count} parameters, network has {expected}"
+        )));
+    }
+    // decode all parameters first so a truncated file cannot leave the
+    // network half-restored
+    let mut decoded: Vec<(Vec<usize>, Vec<f32>)> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = cursor.u32()? as usize;
+        if rank > 8 {
+            return Err(SnnError::InvalidConfig(format!("implausible tensor rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(cursor.u32()? as usize);
+        }
+        let n: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(cursor.f32()?);
+        }
+        decoded.push((dims, data));
+    }
+    // shape check against the live network
+    let mut idx = 0;
+    let mut shape_err: Option<String> = None;
+    network.visit_params(&mut |p| {
+        if shape_err.is_some() {
+            return;
+        }
+        let (dims, _) = &decoded[idx];
+        if p.value.dims() != dims.as_slice() {
+            shape_err = Some(format!(
+                "parameter {idx}: checkpoint shape {dims:?} vs network {:?}",
+                p.value.dims()
+            ));
+        }
+        idx += 1;
+    });
+    if let Some(msg) = shape_err {
+        return Err(SnnError::InvalidConfig(msg));
+    }
+    // commit
+    let mut idx = 0;
+    network.visit_params(&mut |p| {
+        let (_, data) = &decoded[idx];
+        p.value.data_mut().copy_from_slice(data);
+        idx += 1;
+    });
+    Ok(())
+}
+
+struct Cursor<'a> {
+    blob: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.pos + n > self.blob.len() {
+            return Err(SnnError::InvalidConfig("truncated checkpoint".into()));
+        }
+        let s = &self.blob[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear};
+    use crate::lif::{LifConfig, LifNeuron};
+    use crate::Mode;
+    use dtsnn_tensor::{Tensor, TensorRng};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dtsnn-ckpt-{name}-{}", std::process::id()))
+    }
+
+    fn net(seed: u64) -> Snn {
+        let mut rng = TensorRng::seed_from(seed);
+        Snn::from_layers(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 6, &mut rng)),
+            Box::new(LifNeuron::new(LifConfig::default())),
+            Box::new(Linear::new(6, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_restores_behaviour() {
+        let path = tmp("roundtrip");
+        let mut a = net(1);
+        save_params(&mut a, &path).unwrap();
+        let mut b = net(2); // different init
+        let x = Tensor::randn(&[1, 1, 2, 2], 0.5, 0.5, &mut TensorRng::seed_from(3));
+        let before = b.forward_timestep(&x, Mode::Eval).unwrap();
+        b.reset_state();
+        load_params(&mut b, &path).unwrap();
+        let after = b.forward_timestep(&x, Mode::Eval).unwrap();
+        b.reset_state();
+        let mut a2 = net(99);
+        load_params(&mut a2, &path).unwrap();
+        let reference = a2.forward_timestep(&x, Mode::Eval).unwrap();
+        assert_ne!(before, after, "load must change a differently-initialized net");
+        assert_eq!(after, reference, "restored nets must agree");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let path = tmp("wrong-arch");
+        let mut a = net(1);
+        save_params(&mut a, &path).unwrap();
+        let mut rng = TensorRng::seed_from(4);
+        let mut other = Snn::from_layers(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 8, &mut rng)), // different width
+            Box::new(LifNeuron::new(LifConfig::default())),
+            Box::new(Linear::new(8, 3, &mut rng)),
+        ]);
+        assert!(load_params(&mut other, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let mut a = net(1);
+        assert!(load_params(&mut a, &path).is_err());
+        // truncated: valid magic + count, no data
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&4u32.to_le_bytes());
+        std::fs::write(&path, &blob).unwrap();
+        assert!(load_params(&mut a, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut a = net(1);
+        assert!(load_params(&mut a, "/nonexistent/dir/ckpt.bin").is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! The [`Layer`] trait: the contract every network component implements for
+//! per-timestep forward passes and reverse-time backpropagation.
+
+use crate::Result;
+use dtsnn_tensor::Tensor;
+
+/// Whether a pass updates training-only state (batch statistics, dropout
+/// masks, backward caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: caches activations for backward, uses batch statistics.
+    Train,
+    /// Inference: no caches, running statistics, dropout disabled.
+    Eval,
+}
+
+/// A learnable parameter: value, accumulated gradient and momentum buffer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated over the current BPTT window.
+    pub grad: Tensor,
+    /// Momentum buffer owned by the optimizer.
+    pub momentum: Tensor,
+    /// Whether weight decay applies (disabled for norms/biases).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a freshly initialized value with zeroed gradient/momentum.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        let momentum = Tensor::zeros(value.dims());
+        Param { value, grad, momentum, decay }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+}
+
+/// One component of a spiking network, processed once per timestep.
+///
+/// # BPTT contract
+///
+/// - `forward` is called once per timestep `t = 1..=T`; in [`Mode::Train`]
+///   each call pushes an activation cache onto an internal stack.
+/// - `backward` is called once per timestep in **reverse** order; each call
+///   pops the matching cache and accumulates parameter gradients.
+/// - `reset_state` clears membrane potentials **and** caches; call it before
+///   every new input sequence.
+pub trait Layer {
+    /// Processes one timestep of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape disagrees with the layer.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Backpropagates one timestep (reverse order), returning `∂L/∂input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SnnError::MissingForwardCache`] when called more times
+    /// than `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Clears sequence state (membranes, caches) before a new sample.
+    fn reset_state(&mut self);
+
+    /// Visits every learnable parameter.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Human-readable layer kind for reports.
+    fn kind(&self) -> &'static str;
+
+    /// Spike density of the most recent output, if this layer emits spikes.
+    ///
+    /// Used by the IMC energy model: crossbar input activity is the spike
+    /// density of the preceding LIF layer.
+    fn last_spike_density(&self) -> Option<f32> {
+        None
+    }
+
+    /// Deep-copies the layer behind a fresh box (lets [`crate::Snn`]
+    /// implement `Clone` despite holding trait objects — e.g. to perturb
+    /// several noisy replicas of one trained network).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::ones(&[3]), true);
+        p.grad = Tensor::ones(&[3]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.value.sum(), 3.0);
+    }
+}

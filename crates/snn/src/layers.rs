@@ -1,0 +1,930 @@
+//! Stateless and learnable layers: convolution, linear, normalization,
+//! pooling, dropout, flatten, and residual composition.
+//!
+//! All layers obey the per-timestep forward / reverse-time backward contract
+//! of [`Layer`]. Convolution re-derives its im2col matrix during backward
+//! from the cached (sparse, binary) input spikes instead of caching the much
+//! larger column matrix.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::lif::{LifConfig, LifNeuron};
+use crate::{Result, SnnError};
+use dtsnn_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, im2col, Conv2dSpec, PoolSpec,
+    Tensor, TensorRng,
+};
+
+// ===========================================================================
+// Conv2d
+// ===========================================================================
+
+/// A 2-D convolution layer (weights `[c_out, c_in·k·k]`, bias `[c_out]`).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    weight: Param,
+    bias: Param,
+    /// Cached inputs per timestep (training only).
+    inputs: Vec<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::Tensor`] for invalid geometry.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut TensorRng,
+    ) -> Result<Self> {
+        let spec = Conv2dSpec::new(in_channels, out_channels, kernel, stride, padding)?;
+        let fan_in = spec.patch_len();
+        let weight = Param::new(Tensor::kaiming(&spec.weight_dims(), fan_in, rng), true);
+        let bias = Param::new(Tensor::zeros(&[out_channels]), false);
+        Ok(Conv2d { spec, weight, bias, inputs: Vec::new() })
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// Read access to the weight matrix (for the IMC mapper / noise injector).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the weight matrix (for device-noise injection).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (out, _cols) = conv2d(input, &self.weight.value, Some(&self.bias.value), &self.spec)?;
+        if mode == Mode::Train {
+            self.inputs.push(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self.inputs.pop().ok_or(SnnError::MissingForwardCache("Conv2d"))?;
+        let (h, w) = (input.dims()[2], input.dims()[3]);
+        // Recompute the column matrix: cheaper than caching it for every
+        // timestep (inputs are binary spike tensors).
+        let cols = im2col(&input, &self.spec)?;
+        let (gx, gw, gb) = conv2d_backward(grad_out, &cols, &self.weight.value, &self.spec, (h, w))?;
+        self.weight.grad.axpy(1.0, &gw)?;
+        self.bias.grad.axpy(1.0, &gb)?;
+        Ok(gx)
+    }
+
+    fn reset_state(&mut self) {
+        self.inputs.clear();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+// ===========================================================================
+// Linear
+// ===========================================================================
+
+/// A fully connected layer (weights `[out, in]`, bias `[out]`).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    inputs: Vec<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut TensorRng) -> Self {
+        let weight = Param::new(Tensor::kaiming(&[out_features, in_features], in_features, rng), true);
+        let bias = Param::new(Tensor::zeros(&[out_features]), false);
+        Linear { weight, bias, inputs: Vec::new() }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Read access to the weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the weight matrix (for device-noise injection).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        // y = x Wᵀ + b ; x is [n, in]
+        let out = input.matmul_nt(&self.weight.value)?.add_row_bias(&self.bias.value)?;
+        if mode == Mode::Train {
+            self.inputs.push(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self.inputs.pop().ok_or(SnnError::MissingForwardCache("Linear"))?;
+        // dW = gᵀ x  ([out, n]×[n, in])
+        let gw = grad_out.matmul_tn(&input)?;
+        let gb = grad_out.sum_rows()?;
+        self.weight.grad.axpy(1.0, &gw)?;
+        self.bias.grad.axpy(1.0, &gb)?;
+        // dx = g W  ([n, out]×[out, in])
+        Ok(grad_out.matmul(&self.weight.value)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.inputs.clear();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn kind(&self) -> &'static str {
+        "linear"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+// ===========================================================================
+// BatchNorm2d (tdBN-style)
+// ===========================================================================
+
+/// Per-timestep cache for BN backward.
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+/// How batch-norm statistics relate to the timestep axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BnStats {
+    /// tdBN-style \[23\]: one set of statistics **shared across timesteps**
+    /// (estimated as an EMA over batches and timesteps, used as constants in
+    /// both training and inference). Because the membrane charges over time,
+    /// early timesteps are systematically under-normalized — exactly the
+    /// effect that makes first-timestep accuracy poor under the conventional
+    /// loss (Eq. 9) and lets the per-timestep loss (Eq. 10) repair it
+    /// (the paper's Fig. 7 ablation).
+    #[default]
+    Shared,
+    /// BNTT-style (Kim et al. \[8\]): independent statistics per timestep, so
+    /// every timestep is individually calibrated.
+    PerTimestep,
+}
+
+/// Channel-wise batch normalization over `[n, c, h, w]` activations for
+/// spiking networks, with selectable timestep semantics ([`BnStats`]).
+///
+/// The internal timestep counter resets with [`Layer::reset_state`]. The
+/// tdBN-flavoured initialization `γ = α·V_th` \[23\] is available via
+/// [`BatchNorm2d::tdbn`].
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    stats: BnStats,
+    /// Running means: one slot for [`BnStats::Shared`], one per timestep for
+    /// [`BnStats::PerTimestep`] (grown lazily).
+    running_mean: Vec<Vec<f32>>,
+    /// Running variances, same layout as `running_mean`.
+    running_var: Vec<Vec<f32>>,
+    momentum: f32,
+    eps: f32,
+    caches: Vec<BnCache>,
+    /// Timestep counter within the current sequence.
+    t_index: usize,
+}
+
+impl BatchNorm2d {
+    /// Standard BN with `γ = 1` and shared (tdBN-style) statistics.
+    pub fn new(channels: usize) -> Self {
+        Self::with_gamma(channels, 1.0, BnStats::Shared)
+    }
+
+    /// tdBN initialization: `γ = alpha_vth` (= α·V_th in \[23\]).
+    pub fn tdbn(channels: usize, alpha_vth: f32) -> Self {
+        Self::with_gamma(channels, alpha_vth, BnStats::Shared)
+    }
+
+    /// BNTT-style normalization with independent per-timestep statistics.
+    pub fn per_timestep(channels: usize, alpha_vth: f32) -> Self {
+        Self::with_gamma(channels, alpha_vth, BnStats::PerTimestep)
+    }
+
+    fn with_gamma(channels: usize, g: f32, stats: BnStats) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::full(&[channels], g), false),
+            beta: Param::new(Tensor::zeros(&[channels]), false),
+            stats,
+            running_mean: Vec::new(),
+            running_var: Vec::new(),
+            momentum: 0.1,
+            eps: 1e-5,
+            caches: Vec::new(),
+            t_index: 0,
+        }
+    }
+
+    /// The timestep semantics of this layer's statistics.
+    pub fn stats_mode(&self) -> BnStats {
+        self.stats
+    }
+
+    /// Statistics slot for timestep `t` under the current mode.
+    fn slot(&self, t: usize) -> usize {
+        match self.stats {
+            BnStats::Shared => 0,
+            BnStats::PerTimestep => t,
+        }
+    }
+
+    /// Ensures running-stat storage exists for timestep `t`.
+    fn ensure_timestep(&mut self, t: usize) {
+        let c = self.channels();
+        while self.running_mean.len() <= t {
+            self.running_mean.push(vec![0.0; c]);
+            self.running_var.push(vec![1.0; c]);
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        let d = input.dims();
+        if d.len() != 4 {
+            return Err(SnnError::BadInput(format!("batchnorm expects NCHW, got {d:?}")));
+        }
+        if d[1] != self.channels() {
+            return Err(SnnError::BadInput(format!(
+                "batchnorm has {} channels, input has {}",
+                self.channels(),
+                d[1]
+            )));
+        }
+        Ok((d[0], d[1], d[2], d[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(input)?;
+        let m = (n * h * w) as f32;
+        let mut out = input.clone();
+        let plane = h * w;
+        let t = self.t_index;
+        self.t_index += 1;
+        let slot = self.slot(t);
+        match mode {
+            Mode::Train => {
+                self.ensure_timestep(slot);
+                // Batch statistics of this timestep update the EMA of the
+                // mode's slot (shared: all timesteps feed one slot, pooling
+                // statistics over time as tdBN does).
+                for ci in 0..c {
+                    let mut mean = 0.0;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for p in 0..plane {
+                            mean += input.data()[base + p];
+                        }
+                    }
+                    mean /= m;
+                    let mut var = 0.0;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for p in 0..plane {
+                            let d = input.data()[base + p] - mean;
+                            var += d * d;
+                        }
+                    }
+                    var /= m;
+                    self.running_mean[slot][ci] =
+                        (1.0 - self.momentum) * self.running_mean[slot][ci] + self.momentum * mean;
+                    self.running_var[slot][ci] =
+                        (1.0 - self.momentum) * self.running_var[slot][ci] + self.momentum * var;
+                }
+                // Normalize with the (updated) EMA statistics, treated as
+                // constants — training and inference see the same transform,
+                // which is what lets Eq. 10 supervision repair early
+                // timesteps under shared statistics.
+                let mut x_hat = Tensor::zeros(input.dims());
+                let mut inv_stds = vec![0.0f32; c];
+                for (ci, inv_slot) in inv_stds.iter_mut().enumerate() {
+                    let mean = self.running_mean[slot][ci];
+                    let inv_std = 1.0 / (self.running_var[slot][ci] + self.eps).sqrt();
+                    *inv_slot = inv_std;
+                    let g = self.gamma.value.data()[ci];
+                    let b = self.beta.value.data()[ci];
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for p in 0..plane {
+                            let xh = (input.data()[base + p] - mean) * inv_std;
+                            x_hat.data_mut()[base + p] = xh;
+                            out.data_mut()[base + p] = g * xh + b;
+                        }
+                    }
+                }
+                self.caches.push(BnCache { x_hat, inv_std: inv_stds });
+            }
+            Mode::Eval => {
+                // fresh layers fall back to identity statistics; beyond the
+                // trained window clamp to the last trained timestep
+                if self.running_mean.is_empty() {
+                    self.ensure_timestep(0);
+                }
+                let ti = slot.min(self.running_mean.len() - 1);
+                for ci in 0..c {
+                    let inv_std = 1.0 / (self.running_var[ti][ci] + self.eps).sqrt();
+                    let mean = self.running_mean[ti][ci];
+                    let g = self.gamma.value.data()[ci];
+                    let b = self.beta.value.data()[ci];
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for p in 0..plane {
+                            out.data_mut()[base + p] =
+                                g * (input.data()[base + p] - mean) * inv_std + b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.caches.pop().ok_or(SnnError::MissingForwardCache("BatchNorm2d"))?;
+        let d = grad_out.dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let mut gx = Tensor::zeros(grad_out.dims());
+        // Statistics are EMA constants, so the transform is affine per
+        // channel: dx = dy·γ·inv_std, dγ = Σ dy·x̂, dβ = Σ dy.
+        for ci in 0..c {
+            let g = self.gamma.value.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xh = 0.0;
+            let k = g * inv_std;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for p in 0..plane {
+                    let dy = grad_out.data()[base + p];
+                    sum_dy += dy;
+                    sum_dy_xh += dy * cache.x_hat.data()[base + p];
+                    gx.data_mut()[base + p] = k * dy;
+                }
+            }
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            self.gamma.grad.data_mut()[ci] += sum_dy_xh;
+        }
+        Ok(gx)
+    }
+
+    fn reset_state(&mut self) {
+        self.caches.clear();
+        self.t_index = 0;
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn kind(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+// ===========================================================================
+// AvgPool2d / Flatten / Dropout
+// ===========================================================================
+
+/// Average pooling layer.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    spec: PoolSpec,
+    input_hw: Vec<(usize, usize)>,
+}
+
+impl AvgPool2d {
+    /// Creates a pool with a square window of `kernel`, stride = kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::Tensor`] for zero extents.
+    pub fn new(kernel: usize) -> Result<Self> {
+        Ok(AvgPool2d { spec: PoolSpec::new(kernel, kernel)?, input_hw: Vec::new() })
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = avg_pool2d(input, &self.spec)?;
+        if mode == Mode::Train {
+            self.input_hw.push((input.dims()[2], input.dims()[3]));
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let hw = self.input_hw.pop().ok_or(SnnError::MissingForwardCache("AvgPool2d"))?;
+        Ok(avg_pool2d_backward(grad_out, &self.spec, hw)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.input_hw.clear();
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn kind(&self) -> &'static str {
+        "avgpool2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Reshapes `[n, c, h, w]` → `[n, c·h·w]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Vec<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let d = input.dims();
+        if d.len() < 2 {
+            return Err(SnnError::BadInput(format!("flatten expects rank ≥ 2, got {d:?}")));
+        }
+        let n = d[0];
+        let rest: usize = d[1..].iter().product();
+        if mode == Mode::Train {
+            self.input_dims.push(d.to_vec());
+        }
+        Ok(input.reshape(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self.input_dims.pop().ok_or(SnnError::MissingForwardCache("Flatten"))?;
+        Ok(grad_out.reshape(&dims)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.input_dims.clear();
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn kind(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Inverted dropout: active only in [`Mode::Train`].
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: TensorRng,
+    masks: Vec<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for `p` outside `[0, 1)`.
+    pub fn new(p: f32, rng: &mut TensorRng) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(SnnError::InvalidConfig(format!("dropout p must be in [0,1), got {p}")));
+        }
+        Ok(Dropout { p, rng: rng.fork(0xD0), masks: Vec::new() })
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Eval || self.p == 0.0 {
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let mut mask = Tensor::zeros(input.dims());
+        for v in mask.data_mut() {
+            *v = if self.rng.bernoulli(keep) { 1.0 / keep } else { 0.0 };
+        }
+        let out = input.mul(&mask)?;
+        self.masks.push(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.masks.pop().ok_or(SnnError::MissingForwardCache("Dropout"))?;
+        Ok(grad_out.mul(&mask)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.masks.clear();
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+// ===========================================================================
+// ResidualBlock
+// ===========================================================================
+
+/// A spiking residual block: `LIF(main(x) + shortcut(x))`.
+///
+/// The main path is typically `Conv-BN-LIF-Conv-BN`; the shortcut is empty
+/// (identity) or a projection `Conv1x1-BN`. The joining LIF keeps the output
+/// binary, as in spiking ResNets trained with tdBN \[23\].
+pub struct ResidualBlock {
+    main: Vec<Box<dyn Layer>>,
+    shortcut: Vec<Box<dyn Layer>>,
+    join: LifNeuron,
+}
+
+impl Clone for ResidualBlock {
+    fn clone(&self) -> Self {
+        ResidualBlock {
+            main: self.main.clone(),
+            shortcut: self.shortcut.clone(),
+            join: self.join.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidualBlock")
+            .field("main_layers", &self.main.len())
+            .field("shortcut_layers", &self.shortcut.len())
+            .finish()
+    }
+}
+
+impl ResidualBlock {
+    /// Creates a residual block; `shortcut` may be empty for identity.
+    pub fn new(
+        main: Vec<Box<dyn Layer>>,
+        shortcut: Vec<Box<dyn Layer>>,
+        lif: LifConfig,
+    ) -> Self {
+        ResidualBlock { main, shortcut, join: LifNeuron::new(lif) }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut m = input.clone();
+        for l in &mut self.main {
+            m = l.forward(&m, mode)?;
+        }
+        let mut s = input.clone();
+        for l in &mut self.shortcut {
+            s = l.forward(&s, mode)?;
+        }
+        let joined = m.add(&s)?;
+        self.join.forward(&joined, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g = self.join.backward(grad_out)?;
+        let mut gm = g.clone();
+        for l in self.main.iter_mut().rev() {
+            gm = l.backward(&gm)?;
+        }
+        let mut gs = g;
+        for l in self.shortcut.iter_mut().rev() {
+            gs = l.backward(&gs)?;
+        }
+        Ok(gm.add(&gs)?)
+    }
+
+    fn reset_state(&mut self) {
+        for l in &mut self.main {
+            l.reset_state();
+        }
+        for l in &mut self.shortcut {
+            l.reset_state();
+        }
+        self.join.reset_state();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.main {
+            l.visit_params(f);
+        }
+        for l in &mut self.shortcut {
+            l.visit_params(f);
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "residual"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn last_spike_density(&self) -> Option<f32> {
+        self.join.last_spike_density()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TensorRng {
+        TensorRng::seed_from(42)
+    }
+
+    #[test]
+    fn linear_forward_backward_shapes() {
+        let mut r = rng();
+        let mut lin = Linear::new(4, 3, &mut r);
+        let x = Tensor::ones(&[2, 4]);
+        let y = lin.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        let gx = lin.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(gx.dims(), &[2, 4]);
+        assert!(matches!(lin.backward(&Tensor::ones(&[2, 3])), Err(SnnError::MissingForwardCache(_))));
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let mut lin = Linear::new(3, 2, &mut r);
+        let x = Tensor::randn(&[2, 3], 0.0, 1.0, &mut r);
+        let y = lin.forward(&x, Mode::Train).unwrap();
+        let loss0 = y.sum();
+        lin.backward(&Tensor::ones(&[2, 2])).unwrap();
+        let mut grads = Vec::new();
+        lin.visit_params(&mut |p: &mut Param| grads.push(p.grad.clone()));
+        // dL/dW[0,0] for L = Σy is Σ_batch x[:,0]
+        let expect = x.data()[0] + x.data()[3];
+        assert!((grads[0].data()[0] - expect).abs() < 1e-5);
+        // perturb W[0,0] and confirm numerically
+        let eps = 1e-2;
+        lin.reset_state();
+        lin.weight_mut().data_mut()[0] += eps;
+        let y2 = lin.forward(&x, Mode::Eval).unwrap();
+        let num = (y2.sum() - loss0) / eps;
+        assert!((num - grads[0].data()[0]).abs() < 1e-2, "num={num} ana={}", grads[0].data()[0]);
+    }
+
+    #[test]
+    fn conv_layer_roundtrip_and_grad_accumulation() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut r).unwrap();
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
+        conv.backward(&Tensor::ones(y.dims())).unwrap();
+        let mut total = 0.0;
+        conv.visit_params(&mut |p| total += p.grad.norm_sq());
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn batchnorm_converges_to_unit_stats() {
+        // EMA statistics converge to the input distribution, so outputs
+        // approach mean β = 0, std γ = 1.
+        let mut bn = BatchNorm2d::new(2);
+        let mut r = rng();
+        let mut y = Tensor::zeros(&[8, 2, 3, 3]);
+        for _ in 0..80 {
+            let x = Tensor::randn(&[8, 2, 3, 3], 5.0, 2.0, &mut r);
+            y = bn.forward(&x, Mode::Train).unwrap();
+            bn.reset_state();
+        }
+        let mean = y.mean();
+        let var = y.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / y.len() as f32;
+        assert!(mean.abs() < 0.15, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.25, "var={var}");
+    }
+
+    #[test]
+    fn tdbn_gamma_scales_output() {
+        let mut bn = BatchNorm2d::tdbn(1, 2.0);
+        let mut r = rng();
+        let mut y = Tensor::zeros(&[8, 1, 4, 4]);
+        for _ in 0..80 {
+            let x = Tensor::randn(&[8, 1, 4, 4], 0.0, 1.0, &mut r);
+            y = bn.forward(&x, Mode::Train).unwrap();
+            bn.reset_state();
+        }
+        let mean = y.mean();
+        let var = y.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / y.len() as f32;
+        assert!((var - 4.0).abs() < 1.0, "var={var}");
+    }
+
+    #[test]
+    fn batchnorm_eval_matches_train_transform() {
+        // After warm-up, Train and Eval apply the same affine transform
+        // (both use the EMA statistics) — train/eval consistency is the point
+        // of constant-statistics normalization.
+        let mut bn = BatchNorm2d::new(1);
+        let mut r = rng();
+        for _ in 0..50 {
+            let x = Tensor::randn(&[16, 1, 2, 2], 3.0, 1.0, &mut r);
+            bn.forward(&x, Mode::Train).unwrap();
+            bn.reset_state();
+        }
+        let x = Tensor::randn(&[4, 1, 2, 2], 3.0, 1.0, &mut r);
+        let ye = bn.forward(&x, Mode::Eval).unwrap();
+        bn.reset_state();
+        let yt = bn.forward(&x, Mode::Train).unwrap();
+        bn.reset_state();
+        for (a, b) in ye.data().iter().zip(yt.data()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_per_timestep_slots_are_independent() {
+        let mut bn = BatchNorm2d::per_timestep(1, 1.0);
+        let mut r = rng();
+        // t=0 sees mean 0, t=1 sees mean 10
+        for _ in 0..60 {
+            let x0 = Tensor::randn(&[8, 1, 2, 2], 0.0, 1.0, &mut r);
+            let x1 = Tensor::randn(&[8, 1, 2, 2], 10.0, 1.0, &mut r);
+            bn.forward(&x0, Mode::Train).unwrap();
+            bn.forward(&x1, Mode::Train).unwrap();
+            bn.reset_state();
+        }
+        // eval: each timestep normalized by its own statistics → both ≈ 0 mean
+        let x0 = Tensor::full(&[1, 1, 2, 2], 0.0);
+        let x1 = Tensor::full(&[1, 1, 2, 2], 10.0);
+        let y0 = bn.forward(&x0, Mode::Eval).unwrap();
+        let y1 = bn.forward(&x1, Mode::Eval).unwrap();
+        assert!(y0.mean().abs() < 0.5, "t0 mean {}", y0.mean());
+        assert!(y1.mean().abs() < 0.5, "t1 mean {}", y1.mean());
+        // shared-stats layer would misnormalize one of them
+        assert_eq!(bn.stats_mode(), BnStats::PerTimestep);
+    }
+
+    #[test]
+    fn batchnorm_backward_gamma_beta_finite_difference() {
+        let mut r = rng();
+        let x = Tensor::randn(&[4, 1, 2, 2], 1.0, 2.0, &mut r);
+        let mut bn = BatchNorm2d::new(1);
+        // warm EMA so the transform is stable
+        for _ in 0..30 {
+            bn.forward(&x, Mode::Train).unwrap();
+            bn.reset_state();
+        }
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // loss = Σ y² / 2 → dL/dy = y
+        let gx = bn.backward(&y).unwrap();
+        // dx = dy·γ·inv_std: uniform positive scale of dy
+        let ratio = gx.data()[0] / y.data()[0];
+        for (g, v) in gx.data().iter().zip(y.data()) {
+            assert!((g / v - ratio).abs() < 1e-4);
+        }
+        // gamma/beta grads: perturb and compare loss (statistics unaffected
+        // by parameter perturbation, so FD is exact up to EMA drift)
+        let mut grads = Vec::new();
+        bn.visit_params(&mut |p: &mut Param| grads.push(p.grad.clone()));
+        let loss0 = y.norm_sq() / 2.0;
+        let eps = 1e-3;
+        for (idx, _) in grads.iter().enumerate() {
+            let mut bn2 = bn.clone();
+            bn2.reset_state();
+            let mut which = 0;
+            bn2.visit_params(&mut |p: &mut Param| {
+                if which == idx {
+                    p.value.data_mut()[0] += eps;
+                }
+                which += 1;
+            });
+            let y2 = bn2.forward(&x, Mode::Eval).unwrap();
+            let num = (y2.norm_sq() / 2.0 - loss0) / eps;
+            let ana = grads[idx].data()[0];
+            assert!((num - ana).abs() / ana.abs().max(1.0) < 0.15,
+                "param {idx}: fd {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = fl.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = fl.backward(&y).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_train_scales() {
+        let mut r = rng();
+        let mut drop = Dropout::new(0.5, &mut r).unwrap();
+        let x = Tensor::ones(&[1, 1000]);
+        let ye = drop.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ye, x);
+        let yt = drop.forward(&x, Mode::Train).unwrap();
+        // inverted dropout: E[y] = x, so the mean should be ≈ 1
+        assert!((yt.mean() - 1.0).abs() < 0.1, "mean={}", yt.mean());
+        // surviving values are scaled by 1/keep = 2
+        assert!(yt.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(Dropout::new(1.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn residual_identity_shortcut_adds_input() {
+        let mut r = rng();
+        // main path: conv that is zero-initialized → output = LIF(0 + x)
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut r).unwrap();
+        conv.visit_params(&mut |p| p.value.map_inplace(|_| 0.0));
+        let lif = LifConfig { v_th: 0.5, ..LifConfig::default() };
+        let mut block = ResidualBlock::new(vec![Box::new(conv)], vec![], lif);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = block.forward(&x, Mode::Eval).unwrap();
+        // x = 1 > v_th = 0.5 → all spike
+        assert_eq!(y.sum(), 16.0);
+        assert_eq!(block.last_spike_density(), Some(1.0));
+    }
+
+    #[test]
+    fn residual_backward_splits_gradient() {
+        let mut r = rng();
+        let conv = Conv2d::new(1, 1, 3, 1, 1, &mut r).unwrap();
+        let lif = LifConfig { v_th: 1.0, ..LifConfig::default() };
+        let mut block = ResidualBlock::new(vec![Box::new(conv)], vec![], lif);
+        let x = Tensor::full(&[1, 1, 4, 4], 0.9);
+        block.forward(&x, Mode::Train).unwrap();
+        let gx = block.backward(&Tensor::ones(&[1, 1, 4, 4])).unwrap();
+        assert_eq!(gx.dims(), &[1, 1, 4, 4]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Training losses: the conventional mean-output cross-entropy (Eq. 9) and
+//! the per-timestep cross-entropy that supervises every intermediate output
+//! (Eq. 10) — the loss that makes DT-SNN's early exits accurate.
+
+use crate::{Result, SnnError};
+use dtsnn_tensor::{softmax_rows, Tensor};
+
+/// Which training loss to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LossKind {
+    /// Eq. 9: cross-entropy on the timestep-averaged logits `f_T(x)`.
+    MeanOutput,
+    /// Eq. 10: mean cross-entropy over all running averages `f_t(x)`,
+    /// `t = 1..T` — explicit guidance at every timestep.
+    #[default]
+    PerTimestep,
+}
+
+impl LossKind {
+    /// Computes loss and per-timestep logit gradients.
+    ///
+    /// `outputs[t]` are the raw logits `[batch, classes]` of timestep `t+1`.
+    /// Returns `(mean loss, grads)` where `grads[t]` is `∂L/∂outputs[t]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::BadInput`] for empty/ragged outputs and
+    /// [`SnnError::LabelOutOfRange`] for bad labels.
+    pub fn compute(&self, outputs: &[Tensor], labels: &[usize]) -> Result<(f32, Vec<Tensor>)> {
+        match self {
+            LossKind::MeanOutput => cross_entropy_mean_output(outputs, labels),
+            LossKind::PerTimestep => cross_entropy_per_timestep(outputs, labels),
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LossKind::MeanOutput => "eq9-mean-output",
+            LossKind::PerTimestep => "eq10-per-timestep",
+        }
+    }
+}
+
+fn validate(outputs: &[Tensor], labels: &[usize]) -> Result<(usize, usize, usize)> {
+    let first = outputs
+        .first()
+        .ok_or_else(|| SnnError::BadInput("loss needs at least one timestep output".into()))?;
+    let d = first.dims();
+    if d.len() != 2 {
+        return Err(SnnError::BadInput(format!("logits must be [batch, classes], got {d:?}")));
+    }
+    let (b, k) = (d[0], d[1]);
+    if b != labels.len() {
+        return Err(SnnError::BadInput(format!("{b} logits rows but {} labels", labels.len())));
+    }
+    for o in outputs {
+        if o.dims() != [b, k] {
+            return Err(SnnError::BadInput("ragged timestep outputs".into()));
+        }
+    }
+    for &l in labels {
+        if l >= k {
+            return Err(SnnError::LabelOutOfRange { label: l, classes: k });
+        }
+    }
+    Ok((outputs.len(), b, k))
+}
+
+/// Cross-entropy of a probability matrix against integer labels; also
+/// returns `(p − z)/B`, the gradient w.r.t. the logits that produced `p`.
+fn ce_and_grad(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    let p = softmax_rows(logits)?;
+    let (b, k) = (p.dims()[0], p.dims()[1]);
+    let mut loss = 0.0;
+    let mut grad = p.clone();
+    {
+        let g = grad.data_mut();
+        for (i, &l) in labels.iter().enumerate() {
+            let pi = p.data()[i * k + l].max(1e-12);
+            loss -= pi.ln();
+            g[i * k + l] -= 1.0;
+        }
+        let inv_b = 1.0 / b as f32;
+        for v in g.iter_mut() {
+            *v *= inv_b;
+        }
+    }
+    Ok((loss / b as f32, grad))
+}
+
+/// Eq. 9: `L = CE(softmax(1/T Σ_t y_t), z)`.
+///
+/// Returns the loss and `∂L/∂y_t` for every timestep (all equal to the
+/// mean-logit gradient scaled by `1/T`).
+///
+/// # Errors
+///
+/// See [`LossKind::compute`].
+pub fn cross_entropy_mean_output(
+    outputs: &[Tensor],
+    labels: &[usize],
+) -> Result<(f32, Vec<Tensor>)> {
+    let (t_max, _b, _k) = validate(outputs, labels)?;
+    let mut mean = outputs[0].clone();
+    for o in &outputs[1..] {
+        mean.axpy(1.0, o)?;
+    }
+    let mean = mean.scale(1.0 / t_max as f32);
+    let (loss, g_mean) = ce_and_grad(&mean, labels)?;
+    let per_t = g_mean.scale(1.0 / t_max as f32);
+    Ok((loss, vec![per_t; t_max]))
+}
+
+/// Eq. 10: `L = 1/T Σ_t CE(softmax(f_t), z)` where `f_t = 1/t Σ_{t'≤t} y_{t'}`
+/// is the running average of Eq. 5.
+///
+/// Every timestep output receives explicit label supervision:
+/// `∂L/∂y_s = Σ_{t≥s} (1/T)(1/t)(softmax(f_t) − z)/B`.
+///
+/// # Errors
+///
+/// See [`LossKind::compute`].
+pub fn cross_entropy_per_timestep(
+    outputs: &[Tensor],
+    labels: &[usize],
+) -> Result<(f32, Vec<Tensor>)> {
+    let (t_max, b, k) = validate(outputs, labels)?;
+    let mut running = Tensor::zeros(&[b, k]);
+    let mut total_loss = 0.0;
+    let mut grads = vec![Tensor::zeros(&[b, k]); t_max];
+    let inv_t_max = 1.0 / t_max as f32;
+    for (t, out) in outputs.iter().enumerate() {
+        running.axpy(1.0, out)?;
+        let f_t = running.scale(1.0 / (t + 1) as f32);
+        let (loss, g) = ce_and_grad(&f_t, labels)?;
+        total_loss += loss;
+        // f_t depends on y_s for all s ≤ t with coefficient 1/t.
+        let scaled = g.scale(inv_t_max / (t + 1) as f32);
+        for gs in grads.iter_mut().take(t + 1) {
+            gs.axpy(1.0, &scaled)?;
+        }
+    }
+    Ok((total_loss * inv_t_max, grads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsnn_tensor::TensorRng;
+
+    fn random_outputs(t: usize, b: usize, k: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = TensorRng::seed_from(seed);
+        (0..t).map(|_| Tensor::randn(&[b, k], 0.0, 1.0, &mut rng)).collect()
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        assert!(cross_entropy_mean_output(&[], &[]).is_err());
+        let outs = random_outputs(2, 3, 4, 1);
+        assert!(cross_entropy_mean_output(&outs, &[0, 1]).is_err()); // label count
+        assert!(matches!(
+            cross_entropy_mean_output(&outs, &[0, 1, 9]),
+            Err(SnnError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn perfect_prediction_gives_small_loss() {
+        // logits hugely favor the right class
+        let mut y = Tensor::zeros(&[2, 3]);
+        y.set(&[0, 1], 50.0).unwrap();
+        y.set(&[1, 2], 50.0).unwrap();
+        let (l9, _) = cross_entropy_mean_output(&[y.clone()], &[1, 2]).unwrap();
+        let (l10, _) = cross_entropy_per_timestep(&[y], &[1, 2]).unwrap();
+        assert!(l9 < 1e-4);
+        assert!(l10 < 1e-4);
+    }
+
+    #[test]
+    fn losses_agree_for_single_timestep() {
+        let outs = random_outputs(1, 4, 5, 2);
+        let labels = [0, 1, 2, 3];
+        let (l9, g9) = cross_entropy_mean_output(&outs, &labels).unwrap();
+        let (l10, g10) = cross_entropy_per_timestep(&outs, &labels).unwrap();
+        assert!((l9 - l10).abs() < 1e-6);
+        for (a, b) in g9[0].data().iter().zip(g10[0].data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eq9_gradient_matches_finite_difference() {
+        let outs = random_outputs(3, 2, 4, 3);
+        let labels = [1, 3];
+        let (l0, grads) = cross_entropy_mean_output(&outs, &labels).unwrap();
+        let eps = 1e-3;
+        for t in 0..3 {
+            for idx in [0usize, 3, 7] {
+                let mut pert = outs.clone();
+                pert[t].data_mut()[idx] += eps;
+                let (l1, _) = cross_entropy_mean_output(&pert, &labels).unwrap();
+                let num = (l1 - l0) / eps;
+                let ana = grads[t].data()[idx];
+                assert!((num - ana).abs() < 1e-2, "t={t} idx={idx}: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq10_gradient_matches_finite_difference() {
+        let outs = random_outputs(3, 2, 4, 4);
+        let labels = [0, 2];
+        let (l0, grads) = cross_entropy_per_timestep(&outs, &labels).unwrap();
+        let eps = 1e-3;
+        for t in 0..3 {
+            for idx in [1usize, 4, 6] {
+                let mut pert = outs.clone();
+                pert[t].data_mut()[idx] += eps;
+                let (l1, _) = cross_entropy_per_timestep(&pert, &labels).unwrap();
+                let num = (l1 - l0) / eps;
+                let ana = grads[t].data()[idx];
+                assert!((num - ana).abs() < 1e-2, "t={t} idx={idx}: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq10_supervises_early_timesteps_more_than_eq9() {
+        // Under Eq. 9 the gradient w.r.t. y_1 equals that w.r.t. y_T; under
+        // Eq. 10 y_1 appears in every f_t so it accumulates more signal.
+        let outs = random_outputs(4, 2, 3, 5);
+        let labels = [0, 1];
+        let (_, g9) = cross_entropy_mean_output(&outs, &labels).unwrap();
+        let (_, g10) = cross_entropy_per_timestep(&outs, &labels).unwrap();
+        let n9_first = g9[0].norm_sq();
+        let n9_last = g9[3].norm_sq();
+        assert!((n9_first - n9_last).abs() < 1e-9);
+        let n10_first = g10[0].norm_sq();
+        let n10_last = g10[3].norm_sq();
+        assert!(n10_first > n10_last, "{n10_first} !> {n10_last}");
+    }
+
+    #[test]
+    fn loss_kind_dispatch() {
+        let outs = random_outputs(2, 2, 3, 6);
+        let labels = [0, 1];
+        assert_eq!(LossKind::MeanOutput.name(), "eq9-mean-output");
+        assert_eq!(LossKind::PerTimestep.name(), "eq10-per-timestep");
+        let (a, _) = LossKind::MeanOutput.compute(&outs, &labels).unwrap();
+        let (b, _) = cross_entropy_mean_output(&outs, &labels).unwrap();
+        assert_eq!(a, b);
+    }
+}

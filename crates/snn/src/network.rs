@@ -1,0 +1,290 @@
+//! The [`Snn`] container: a sequential spiking network evaluated over
+//! timesteps (Eq. 1), with BPTT support and spike-activity accounting.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::{Result, SnnError};
+use dtsnn_tensor::Tensor;
+
+/// A named layer inside an [`Snn`], exposed for reports and hardware mapping.
+pub struct LayerNode {
+    /// Human-readable name (`"conv1"`, `"lif3"`, …).
+    pub name: String,
+    /// The layer itself.
+    pub layer: Box<dyn Layer>,
+}
+
+impl Clone for LayerNode {
+    fn clone(&self) -> Self {
+        LayerNode { name: self.name.clone(), layer: self.layer.clone_box() }
+    }
+}
+
+impl std::fmt::Debug for LayerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayerNode").field("name", &self.name).field("kind", &self.layer.kind()).finish()
+    }
+}
+
+/// Average spike density per spiking layer, accumulated over the timesteps
+/// and samples seen since the last [`Snn::take_activity`] call.
+///
+/// The IMC energy model consumes this: the crossbar input activity of layer
+/// `ℓ+1` is the output density of spiking layer `ℓ`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpikeActivity {
+    /// Mean output spike density of each spiking layer, in network order.
+    pub per_layer: Vec<f32>,
+    /// Number of timestep observations folded into the means.
+    pub observations: usize,
+}
+
+impl SpikeActivity {
+    /// Overall mean density across spiking layers (0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.per_layer.is_empty() {
+            0.0
+        } else {
+            self.per_layer.iter().sum::<f32>() / self.per_layer.len() as f32
+        }
+    }
+}
+
+/// A feed-forward spiking network processed one timestep at a time.
+///
+/// The container owns an ordered list of layers ending (by convention) in a
+/// classifier [`crate::Linear`]; the per-timestep output of
+/// [`Snn::forward_timestep`] is the logits `h∘g^L∘…∘g¹(x)` of Eq. 1. The
+/// caller is responsible for averaging logits across timesteps (the
+/// dynamic-timestep policy in `dtsnn-core` does this incrementally).
+pub struct Snn {
+    layers: Vec<LayerNode>,
+    /// Running sums of spike density per spiking layer.
+    density_sums: Vec<f64>,
+    density_obs: usize,
+}
+
+impl Clone for Snn {
+    fn clone(&self) -> Self {
+        Snn {
+            layers: self.layers.clone(),
+            density_sums: self.density_sums.clone(),
+            density_obs: self.density_obs,
+        }
+    }
+}
+
+impl std::fmt::Debug for Snn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snn").field("layers", &self.layers).finish()
+    }
+}
+
+impl Snn {
+    /// Builds a network from named layers.
+    pub fn new(layers: Vec<LayerNode>) -> Self {
+        let spiking = layers.iter().filter(|n| n.layer.last_spike_density().is_some()).count();
+        Snn { layers, density_sums: vec![0.0; spiking], density_obs: 0 }
+    }
+
+    /// Convenience constructor that auto-names layers `"<kind><idx>"`.
+    pub fn from_layers(layers: Vec<Box<dyn Layer>>) -> Self {
+        let nodes = layers
+            .into_iter()
+            .enumerate()
+            .map(|(i, layer)| LayerNode { name: format!("{}{}", layer.kind(), i), layer })
+            .collect();
+        Snn::new(nodes)
+    }
+
+    /// The network's layers, in order.
+    pub fn layers(&self) -> &[LayerNode] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the device-noise injector).
+    pub fn layers_mut(&mut self) -> &mut [LayerNode] {
+        &mut self.layers
+    }
+
+    /// Number of learnable scalar parameters.
+    pub fn num_parameters(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+
+    /// Clears all sequence state; call before each new input sequence.
+    pub fn reset_state(&mut self) {
+        for node in &mut self.layers {
+            node.layer.reset_state();
+        }
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Visits every learnable parameter in the network.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for node in &mut self.layers {
+            node.layer.visit_params(f);
+        }
+    }
+
+    /// Runs one timestep through the whole network, returning logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_timestep(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        let mut spiking_idx = 0;
+        for node in &mut self.layers {
+            x = node.layer.forward(&x, mode)?;
+            if let Some(d) = node.layer.last_spike_density() {
+                self.density_sums[spiking_idx] += d as f64;
+                spiking_idx += 1;
+            }
+        }
+        self.density_obs += 1;
+        Ok(x)
+    }
+
+    /// Backpropagates one timestep (call in reverse timestep order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::MissingForwardCache`] when called more times than
+    /// `forward_timestep` was called in [`Mode::Train`].
+    pub fn backward_timestep(&mut self, grad_logits: &Tensor) -> Result<Tensor> {
+        let mut g = grad_logits.clone();
+        for node in self.layers.iter_mut().rev() {
+            g = node.layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Runs a full sequence. `frames` holds either one frame (static input,
+    /// repeated with direct encoding for `timesteps` steps — Sec. II) or one
+    /// frame per timestep (event data).
+    ///
+    /// Returns the per-timestep logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::BadInput`] when `frames` is empty or its length
+    /// disagrees with `timesteps`.
+    pub fn forward_sequence(
+        &mut self,
+        frames: &[Tensor],
+        timesteps: usize,
+        mode: Mode,
+    ) -> Result<Vec<Tensor>> {
+        if frames.is_empty() {
+            return Err(SnnError::BadInput("empty frame sequence".into()));
+        }
+        if frames.len() != 1 && frames.len() != timesteps {
+            return Err(SnnError::BadInput(format!(
+                "expected 1 or {timesteps} frames, got {}",
+                frames.len()
+            )));
+        }
+        self.reset_state();
+        let mut outputs = Vec::with_capacity(timesteps);
+        for t in 0..timesteps {
+            let frame = if frames.len() == 1 { &frames[0] } else { &frames[t] };
+            outputs.push(self.forward_timestep(frame, mode)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Returns and resets the accumulated spike-activity statistics.
+    pub fn take_activity(&mut self) -> SpikeActivity {
+        let obs = self.density_obs.max(1);
+        let per_layer =
+            self.density_sums.iter().map(|&s| (s / obs as f64) as f32).collect();
+        let activity = SpikeActivity { per_layer, observations: self.density_obs };
+        for s in &mut self.density_sums {
+            *s = 0.0;
+        }
+        self.density_obs = 0;
+        activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear};
+    use crate::lif::{LifConfig, LifNeuron};
+    use dtsnn_tensor::TensorRng;
+
+    fn tiny_net(rng: &mut TensorRng) -> Snn {
+        Snn::from_layers(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(8, 6, rng)),
+            Box::new(LifNeuron::new(LifConfig::default())),
+            Box::new(Linear::new(6, 3, rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_sequence_static_repeats_frame() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let outs = net.forward_sequence(&[x], 4, Mode::Eval).unwrap();
+        assert_eq!(outs.len(), 4);
+        assert_eq!(outs[0].dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn forward_sequence_validates_frame_count() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        assert!(net.forward_sequence(&[], 4, Mode::Eval).is_err());
+        assert!(net.forward_sequence(&[x.clone(), x], 4, Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn activity_tracks_spiking_layers_only() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::full(&[1, 2, 2, 2], 5.0);
+        net.forward_sequence(&[x], 3, Mode::Eval).unwrap();
+        let act = net.take_activity();
+        assert_eq!(act.per_layer.len(), 1); // one LIF
+        assert_eq!(act.observations, 3);
+        assert!(act.per_layer[0] > 0.0);
+        // taking resets
+        let act2 = net.take_activity();
+        assert_eq!(act2.observations, 0);
+    }
+
+    #[test]
+    fn bptt_roundtrip_produces_gradients() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[2, 2, 2, 2], 0.0, 2.0, &mut rng);
+        let outs = net.forward_sequence(&[x], 3, Mode::Train).unwrap();
+        net.zero_grads();
+        for _ in (0..outs.len()).rev() {
+            net.backward_timestep(&Tensor::ones(&[2, 3])).unwrap();
+        }
+        let mut gnorm = 0.0;
+        net.visit_params(&mut |p| gnorm += p.grad.norm_sq());
+        assert!(gnorm > 0.0);
+        // extra backward → cache exhausted
+        assert!(net.backward_timestep(&Tensor::ones(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn num_parameters_counts_scalars() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut net = tiny_net(&mut rng);
+        // 8*6 + 6 + 6*3 + 3 = 75
+        assert_eq!(net.num_parameters(), 75);
+    }
+}

@@ -1,0 +1,168 @@
+//! Surrogate gradients for the non-differentiable spike function (Eq. 3).
+//!
+//! The forward pass always uses the exact Heaviside threshold; these
+//! functions replace its derivative during backpropagation. [`Surrogate::Rectangular`]
+//! is Eq. 4 of the paper; the others are the families used by the baselines
+//! compared in Fig. 6(A) (tdBN uses a rectangular window, Dspike a
+//! temperature-controlled smooth window \[12\]).
+
+/// A surrogate-gradient family for the spike firing function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Surrogate {
+    /// Eq. 4: `max(0, V_th − |u − V_th|)` — a triangular window of half-width
+    /// `V_th` centred on the threshold, as used for DT-SNN training.
+    #[default]
+    Rectangular,
+    /// Triangle window with configurable half-width `gamma`:
+    /// `max(0, 1 − |u − V_th|/gamma) / gamma`.
+    Triangle {
+        /// Half-width of the window.
+        gamma: f32,
+    },
+    /// Dspike-style scaled hyperbolic window with temperature `b`
+    /// (larger `b` → sharper, closer to the true derivative).
+    Dspike {
+        /// Temperature; must be positive.
+        b: f32,
+    },
+    /// Derivative of a sigmoid with slope `alpha` centred on the threshold.
+    Sigmoid {
+        /// Slope; must be positive.
+        alpha: f32,
+    },
+    /// Arctan surrogate `1 / (1 + (π·alpha·(u − V_th))²) · alpha`.
+    Atan {
+        /// Width parameter; must be positive.
+        alpha: f32,
+    },
+}
+
+
+impl Surrogate {
+    /// Pseudo-derivative `∂s/∂u` evaluated at membrane potential `u` with
+    /// firing threshold `v_th`.
+    ///
+    /// All families are nonnegative, peak at `u = v_th`, and vanish (or decay)
+    /// away from the threshold.
+    pub fn grad(&self, u: f32, v_th: f32) -> f32 {
+        let d = u - v_th;
+        match *self {
+            Surrogate::Rectangular => (v_th - d.abs()).max(0.0),
+            Surrogate::Triangle { gamma } => {
+                let g = gamma.max(f32::EPSILON);
+                (1.0 - d.abs() / g).max(0.0) / g
+            }
+            Surrogate::Dspike { b } => {
+                let b = b.max(f32::EPSILON);
+                // derivative of the smooth step 0.5·(tanh(b·d) + 1):
+                // integrates to exactly 1, sharper as b grows.
+                let sech2 = {
+                    let c = (b * d).cosh();
+                    1.0 / (c * c)
+                };
+                0.5 * b * sech2
+            }
+            Surrogate::Sigmoid { alpha } => {
+                let a = alpha.max(f32::EPSILON);
+                let s = 1.0 / (1.0 + (-a * d).exp());
+                a * s * (1.0 - s)
+            }
+            Surrogate::Atan { alpha } => {
+                let a = alpha.max(f32::EPSILON);
+                a / (1.0 + (std::f32::consts::PI * a * d).powi(2))
+            }
+        }
+    }
+
+    /// Short, stable identifier used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Surrogate::Rectangular => "rectangular",
+            Surrogate::Triangle { .. } => "triangle",
+            Surrogate::Dspike { .. } => "dspike",
+            Surrogate::Sigmoid { .. } => "sigmoid",
+            Surrogate::Atan { .. } => "atan",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn families() -> Vec<Surrogate> {
+        vec![
+            Surrogate::Rectangular,
+            Surrogate::Triangle { gamma: 1.0 },
+            Surrogate::Dspike { b: 3.0 },
+            Surrogate::Sigmoid { alpha: 4.0 },
+            Surrogate::Atan { alpha: 2.0 },
+        ]
+    }
+
+    #[test]
+    fn peak_at_threshold() {
+        for s in families() {
+            let at = s.grad(1.0, 1.0);
+            let off = s.grad(2.5, 1.0);
+            assert!(at > off, "{s:?}: {at} !> {off}");
+            assert!(at > 0.0);
+        }
+    }
+
+    #[test]
+    fn nonnegative_everywhere() {
+        for s in families() {
+            for i in -40..=40 {
+                let u = i as f32 * 0.1;
+                assert!(s.grad(u, 1.0) >= 0.0, "{s:?} at u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_about_threshold() {
+        for s in families() {
+            for i in 1..20 {
+                let d = i as f32 * 0.05;
+                let lo = s.grad(1.0 - d, 1.0);
+                let hi = s.grad(1.0 + d, 1.0);
+                assert!((lo - hi).abs() < 1e-5, "{s:?} asymmetric at d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_matches_eq4() {
+        let s = Surrogate::Rectangular;
+        // Eq. 4: max(0, V_th − |u − V_th|) with V_th = 1
+        assert_eq!(s.grad(1.0, 1.0), 1.0);
+        assert_eq!(s.grad(0.5, 1.0), 0.5);
+        assert_eq!(s.grad(2.0, 1.0), 0.0);
+        assert_eq!(s.grad(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn dspike_integrates_to_about_one() {
+        // The pseudo-derivative approximates a delta; its integral over a wide
+        // window should be ≈ 1 (it is the derivative of a 0→1 transition).
+        let s = Surrogate::Dspike { b: 3.0 };
+        let mut acc = 0.0;
+        let h = 0.01;
+        let mut u = -9.0;
+        while u < 11.0 {
+            acc += s.grad(u, 1.0) * h;
+            u += h;
+        }
+        assert!((acc - 1.0).abs() < 0.1, "integral={acc}");
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = families().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

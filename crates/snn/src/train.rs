@@ -1,0 +1,355 @@
+//! Mini-batch surrogate-gradient trainer (BPTT over the full timestep
+//! window) with the paper's recipe: SGD + momentum, cosine decay, L2.
+
+use crate::loss::LossKind;
+use crate::network::Snn;
+use crate::optim::{CosineSchedule, Sgd, SgdConfig};
+use crate::{Mode, Result, SnnError};
+use dtsnn_tensor::{Tensor, TensorRng};
+
+/// Trainer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Timestep window `T` used for training.
+    pub timesteps: usize,
+    /// Loss function (Eq. 9 for static SNN baselines, Eq. 10 for DT-SNN).
+    pub loss: LossKind,
+    /// Optimizer hyperparameters.
+    pub sgd: SgdConfig,
+    /// Seed for batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs: 10,
+            batch_size: 32,
+            timesteps: 4,
+            loss: LossKind::PerTimestep,
+            sgd: SgdConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for zero extents, plus SGD errors.
+    pub fn validate(&self) -> Result<()> {
+        if self.epochs == 0 || self.batch_size == 0 || self.timesteps == 0 {
+            return Err(SnnError::InvalidConfig(
+                "epochs, batch_size and timesteps must be nonzero".into(),
+            ));
+        }
+        self.sgd.validate()
+    }
+}
+
+/// Per-epoch training trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// Mean loss of each epoch.
+    pub epoch_loss: Vec<f32>,
+    /// Training accuracy of each epoch (on mean logits over `T`).
+    pub epoch_accuracy: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch (`NaN` if training never ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_loss.last().copied().unwrap_or(f32::NAN)
+    }
+
+    /// Accuracy of the final epoch (`NaN` if training never ran).
+    pub fn final_accuracy(&self) -> f32 {
+        self.epoch_accuracy.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Drives surrogate-gradient training of an [`Snn`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for invalid hyperparameters.
+    pub fn new(config: TrainerConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Trainer { config })
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains `network` on `(frames, labels)`.
+    ///
+    /// `frames[i]` holds the frame sequence of sample `i`: one `[c, h, w]`
+    /// tensor for static images (direct encoding repeats it every timestep)
+    /// or `timesteps` tensors for event data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::BadInput`] when `frames` and `labels` disagree or
+    /// are empty, plus any layer/loss errors.
+    pub fn fit(
+        &self,
+        network: &mut Snn,
+        frames: &[Vec<Tensor>],
+        labels: &[usize],
+    ) -> Result<TrainReport> {
+        if frames.is_empty() || frames.len() != labels.len() {
+            return Err(SnnError::BadInput(format!(
+                "{} frame sequences vs {} labels",
+                frames.len(),
+                labels.len()
+            )));
+        }
+        let cfg = &self.config;
+        let mut sgd = Sgd::new(cfg.sgd)?;
+        let schedule = CosineSchedule::new(cfg.sgd.lr, cfg.epochs)?;
+        let mut rng = TensorRng::seed_from(cfg.seed);
+        let mut order: Vec<usize> = (0..frames.len()).collect();
+        let mut report = TrainReport::default();
+        for epoch in 0..cfg.epochs {
+            sgd.set_lr(schedule.lr_at(epoch));
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            let mut correct = 0usize;
+            let mut seen = 0usize;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let (batch_frames, batch_labels) = gather_batch(frames, labels, chunk)?;
+                let outputs =
+                    network.forward_sequence(&batch_frames, cfg.timesteps, Mode::Train)?;
+                let (loss, grads) = cfg.loss.compute(&outputs, &batch_labels)?;
+                network.zero_grads();
+                for g in grads.iter().rev() {
+                    network.backward_timestep(g)?;
+                }
+                sgd.step(network);
+                epoch_loss += loss;
+                batches += 1;
+                // training accuracy on the averaged logits
+                let mut mean = outputs[0].clone();
+                for o in &outputs[1..] {
+                    mean.axpy(1.0, o)?;
+                }
+                let preds = mean.argmax_rows()?;
+                correct += preds.iter().zip(&batch_labels).filter(|(p, l)| p == l).count();
+                seen += batch_labels.len();
+            }
+            report.epoch_loss.push(epoch_loss / batches.max(1) as f32);
+            report.epoch_accuracy.push(correct as f32 / seen.max(1) as f32);
+        }
+        Ok(report)
+    }
+
+    /// Top-1 accuracy of `network` on `(frames, labels)` using the
+    /// timestep-averaged logits at the full window `T` (the static-SNN
+    /// evaluation protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::BadInput`] for mismatched inputs.
+    pub fn evaluate(
+        &self,
+        network: &mut Snn,
+        frames: &[Vec<Tensor>],
+        labels: &[usize],
+    ) -> Result<f32> {
+        evaluate_at(network, frames, labels, self.config.timesteps, self.config.batch_size)
+    }
+}
+
+/// Accuracy at an arbitrary timestep budget (used by Fig. 2's sweep).
+///
+/// # Errors
+///
+/// Returns [`SnnError::BadInput`] for mismatched inputs.
+pub fn evaluate_at(
+    network: &mut Snn,
+    frames: &[Vec<Tensor>],
+    labels: &[usize],
+    timesteps: usize,
+    batch_size: usize,
+) -> Result<f32> {
+    if frames.is_empty() || frames.len() != labels.len() {
+        return Err(SnnError::BadInput("frames/labels length mismatch or empty".into()));
+    }
+    let order: Vec<usize> = (0..frames.len()).collect();
+    let mut correct = 0usize;
+    for chunk in order.chunks(batch_size.max(1)) {
+        let (batch_frames, batch_labels) = gather_batch(frames, labels, chunk)?;
+        let outputs = network.forward_sequence(&batch_frames, timesteps, Mode::Eval)?;
+        let mut mean = outputs[0].clone();
+        for o in &outputs[1..] {
+            mean.axpy(1.0, o)?;
+        }
+        let preds = mean.argmax_rows()?;
+        correct += preds.iter().zip(&batch_labels).filter(|(p, l)| p == l).count();
+    }
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// Stacks per-sample frame sequences into per-timestep batch tensors.
+fn gather_batch(
+    frames: &[Vec<Tensor>],
+    labels: &[usize],
+    idx: &[usize],
+) -> Result<(Vec<Tensor>, Vec<usize>)> {
+    let t_frames = frames[idx[0]].len();
+    for &i in idx {
+        if frames[i].len() != t_frames {
+            return Err(SnnError::BadInput("mixed static/temporal samples in one batch".into()));
+        }
+    }
+    let mut batch_frames = Vec::with_capacity(t_frames);
+    #[allow(clippy::needless_range_loop)] // t indexes into every sample's frames
+    for t in 0..t_frames {
+        let views: Vec<Tensor> = idx
+            .iter()
+            .map(|&i| {
+                let f = &frames[i][t];
+                let mut dims = vec![1];
+                dims.extend_from_slice(f.dims());
+                f.reshape(&dims)
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        let refs: Vec<&Tensor> = views.iter().collect();
+        batch_frames.push(Tensor::concat_axis0(&refs)?);
+    }
+    let batch_labels = idx.iter().map(|&i| labels[i]).collect();
+    Ok((batch_frames, batch_labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear};
+    use crate::lif::{LifConfig, LifNeuron};
+    use crate::Surrogate;
+
+    /// A linearly separable toy problem: class = argmax over 3 pixel groups.
+    fn toy_data(n: usize, seed: u64) -> (Vec<Vec<Tensor>>, Vec<usize>) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut frames = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let class = rng.below(3);
+            let mut img = Tensor::randn(&[1, 3, 3], 0.2, 0.1, &mut rng);
+            // make the class's row bright
+            for j in 0..3 {
+                let v = img.at(&[0, class, j]).unwrap();
+                img.set(&[0, class, j], v + 1.0).unwrap();
+            }
+            frames.push(vec![img]);
+            labels.push(class);
+        }
+        (frames, labels)
+    }
+
+    fn toy_net(seed: u64) -> Snn {
+        let mut rng = TensorRng::seed_from(seed);
+        let lif = LifConfig { surrogate: Surrogate::Rectangular, ..LifConfig::default() };
+        Snn::from_layers(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(9, 16, &mut rng)),
+            Box::new(LifNeuron::new(lif)),
+            Box::new(Linear::new(16, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn trainer_validates_config() {
+        assert!(Trainer::new(TrainerConfig { epochs: 0, ..TrainerConfig::default() }).is_err());
+        assert!(Trainer::new(TrainerConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn trainer_rejects_mismatched_data() {
+        let t = Trainer::new(TrainerConfig::default()).unwrap();
+        let mut net = toy_net(0);
+        let (frames, _) = toy_data(4, 0);
+        assert!(t.fit(&mut net, &frames, &[0, 1]).is_err());
+        assert!(t.fit(&mut net, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn training_learns_separable_problem() {
+        let (frames, labels) = toy_data(90, 1);
+        let mut net = toy_net(7);
+        let cfg = TrainerConfig {
+            epochs: 25,
+            batch_size: 16,
+            timesteps: 2,
+            loss: LossKind::PerTimestep,
+            sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+            seed: 3,
+        };
+        let trainer = Trainer::new(cfg).unwrap();
+        let report = trainer.fit(&mut net, &frames, &labels).unwrap();
+        assert!(report.final_accuracy() > 0.85, "train acc = {}", report.final_accuracy());
+        let (test_frames, test_labels) = toy_data(60, 2);
+        let acc = trainer.evaluate(&mut net, &test_frames, &test_labels).unwrap();
+        assert!(acc > 0.8, "test acc = {acc}");
+    }
+
+    #[test]
+    fn both_losses_reduce_loss_over_epochs() {
+        for loss in [LossKind::MeanOutput, LossKind::PerTimestep] {
+            let (frames, labels) = toy_data(60, 4);
+            let mut net = toy_net(9);
+            let cfg = TrainerConfig {
+                epochs: 8,
+                batch_size: 16,
+                timesteps: 2,
+                loss,
+                sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 },
+                seed: 5,
+            };
+            let trainer = Trainer::new(cfg).unwrap();
+            let report = trainer.fit(&mut net, &frames, &labels).unwrap();
+            assert!(
+                report.final_loss() < report.epoch_loss[0],
+                "{loss:?}: {} !< {}",
+                report.final_loss(),
+                report.epoch_loss[0]
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_at_lower_timesteps_runs() {
+        let (frames, labels) = toy_data(20, 6);
+        let mut net = toy_net(11);
+        let acc1 = evaluate_at(&mut net, &frames, &labels, 1, 8).unwrap();
+        let acc4 = evaluate_at(&mut net, &frames, &labels, 4, 8).unwrap();
+        assert!((0.0..=1.0).contains(&acc1));
+        assert!((0.0..=1.0).contains(&acc4));
+    }
+
+    #[test]
+    fn gather_batch_rejects_ragged_sequences() {
+        let f = vec![vec![Tensor::zeros(&[1, 2, 2])], vec![
+            Tensor::zeros(&[1, 2, 2]),
+            Tensor::zeros(&[1, 2, 2]),
+        ]];
+        let l = vec![0, 1];
+        assert!(gather_batch(&f, &l, &[0, 1]).is_err());
+    }
+}

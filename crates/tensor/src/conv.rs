@@ -1,0 +1,428 @@
+//! 2-D convolution via im2col + matmul, with the exact backward pass.
+//!
+//! Layout is `NCHW`. The column matrix produced by [`im2col`] has one row per
+//! output pixel (`n * oh * ow` rows) and one column per kernel tap
+//! (`c * k * k` columns), so a convolution is a single matrix product with a
+//! `[c_out, c*k*k]` weight matrix.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution (square kernel, symmetric padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel extent (k×k).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec, validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if any extent is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(TensorError::InvalidArgument(
+                "conv2d channels, kernel and stride must be nonzero".into(),
+            ));
+        }
+        Ok(Conv2dSpec { in_channels, out_channels, kernel, stride, padding })
+    }
+
+    /// Output spatial extent for an input of extent `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel exceeds the
+    /// padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if self.kernel > ph || self.kernel > pw {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {} exceeds padded input {}x{}",
+                self.kernel, ph, pw
+            )));
+        }
+        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+    }
+
+    /// Number of columns of the im2col matrix: `c_in * k * k`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Weight tensor shape `[c_out, c_in * k * k]`.
+    pub fn weight_dims(&self) -> [usize; 2] {
+        [self.out_channels, self.patch_len()]
+    }
+
+    /// Multiply-accumulate count for one input of extent `(h, w)` — used by
+    /// the IMC latency/energy model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from [`Conv2dSpec::output_hw`].
+    pub fn macs(&self, h: usize, w: usize) -> Result<usize> {
+        let (oh, ow) = self.output_hw(h, w)?;
+        Ok(oh * ow * self.out_channels * self.patch_len())
+    }
+}
+
+/// Unfolds `input` (`[n, c, h, w]`) into a `[n*oh*ow, c*k*k]` column matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-4-D input,
+/// [`TensorError::ShapeMismatch`] when channel counts disagree, and geometry
+/// errors from [`Conv2dSpec::output_hw`].
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    let [n, c, h, w] = dims4(input)?;
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, spec.in_channels, h, w],
+            actual: input.dims().to_vec(),
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.kernel;
+    let pl = spec.patch_len();
+    let mut cols = Tensor::zeros(&[n * oh * ow, pl]);
+    let src = input.data();
+    let dst = cols.data_mut();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * pl;
+                let iy0 = (oy * spec.stride) as isize - pad;
+                let ix0 = (ox * spec.stride) as isize - pad;
+                for ci in 0..c {
+                    let cbase = (ni * c + ci) * h * w;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // padding stays zero
+                        }
+                        let srow = cbase + iy as usize * w;
+                        let drow = row + (ci * k + ky) * k;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[drow + kx] = src[srow + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(cols)
+}
+
+/// Folds a column-matrix gradient back onto the input: the adjoint of
+/// [`im2col`]. `cols` is `[n*oh*ow, c*k*k]`; the result is `[n, c, h, w]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `cols` disagrees with the
+/// geometry, plus geometry errors from [`Conv2dSpec::output_hw`].
+pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Result<Tensor> {
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.kernel;
+    let c = spec.in_channels;
+    let pl = spec.patch_len();
+    if cols.dims() != [n * oh * ow, pl] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n * oh * ow, pl],
+            actual: cols.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * pl;
+                let iy0 = (oy * spec.stride) as isize - pad;
+                let ix0 = (ox * spec.stride) as isize - pad;
+                for ci in 0..c {
+                    let cbase = (ni * c + ci) * h * w;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let drow = cbase + iy as usize * w;
+                        let srow = row + (ci * k + ky) * k;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[drow + ix as usize] += src[srow + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Full convolution forward pass.
+///
+/// `input` is `[n, c_in, h, w]`, `weight` is `[c_out, c_in*k*k]`, `bias` is
+/// `[c_out]` (optional). Returns `(output [n, c_out, oh, ow], cols)` — the
+/// column matrix is exposed so the caller can reuse it in the backward pass
+/// ([C-INTERMEDIATE]).
+///
+/// # Errors
+///
+/// Propagates shape and geometry errors from [`im2col`] / matmul.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<(Tensor, Tensor)> {
+    let [n, _, h, w] = dims4(input)?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let cols = im2col(input, spec)?;
+    // [n*oh*ow, pl] × [pl, c_out] → [n*oh*ow, c_out]. Using plain matmul with
+    // the column matrix on the left lets the kernel skip its zero entries —
+    // a large win when the input is a sparse spike tensor.
+    let w_t = weight.transpose2d()?;
+    let mut out_mat = cols.matmul(&w_t)?;
+    if let Some(b) = bias {
+        out_mat = out_mat.add_row_bias(b)?;
+    }
+    let out = rows_to_nchw(&out_mat, n, spec.out_channels, oh, ow);
+    Ok((out, cols))
+}
+
+/// Gradients of a convolution.
+///
+/// Given upstream `grad_out` (`[n, c_out, oh, ow]`) and the `cols` matrix
+/// returned by [`conv2d`], computes `(grad_input, grad_weight, grad_bias)`.
+///
+/// # Errors
+///
+/// Propagates shape and geometry errors from the underlying matrix ops.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+    input_hw: (usize, usize),
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let [n, co, oh, ow] = dims4(grad_out)?;
+    if co != spec.out_channels {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, spec.out_channels, oh, ow],
+            actual: grad_out.dims().to_vec(),
+        });
+    }
+    let gmat = nchw_to_rows(grad_out);
+    // dWᵀ = colsᵀ × gmat → [pl, c_out]; putting the (sparse, binary) column
+    // matrix first lets matmul_tn skip its zeros, then a cheap transpose
+    // yields dW = [c_out, pl].
+    let grad_weight = cols.matmul_tn(&gmat)?.transpose2d()?;
+    let grad_bias = gmat.sum_rows()?;
+    // dcols = gmat × W → [n*oh*ow, pl]
+    let dcols = gmat.matmul(weight)?;
+    let grad_input = col2im(&dcols, spec, n, input_hw.0, input_hw.1)?;
+    Ok((grad_input, grad_weight, grad_bias))
+}
+
+/// `[n*oh*ow, c]` row matrix → `[n, c, oh, ow]`.
+fn rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let src = mat.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * c;
+                for ci in 0..c {
+                    dst[((ni * c + ci) * oh + oy) * ow + ox] = src[row + ci];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `[n, c, oh, ow]` → `[n*oh*ow, c]` row matrix.
+fn nchw_to_rows(t: &Tensor) -> Tensor {
+    let [n, c, oh, ow] = dims4(t).expect("nchw_to_rows requires 4-d input");
+    let mut out = Tensor::zeros(&[n * oh * ow, c]);
+    let src = t.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    dst[(((ni * oh + oy) * ow + ox) * c) + ci] =
+                        src[((ni * c + ci) * oh + oy) * ow + ox];
+                }
+            }
+        }
+    }
+    out
+}
+
+fn dims4(t: &Tensor) -> Result<[usize; 4]> {
+    let d = t.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: d.len() });
+    }
+    Ok([d[0], d[1], d[2], d[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: &Conv2dSpec,
+    ) -> Tensor {
+        let [n, c, h, w] = dims4(input).unwrap();
+        let (oh, ow) = spec.output_hw(h, w).unwrap();
+        let k = spec.kernel;
+        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+        for ni in 0..n {
+            for co in 0..spec.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * spec.stride + ky) as isize
+                                        - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize
+                                        - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let iv = input
+                                        .at(&[ni, ci, iy as usize, ix as usize])
+                                        .unwrap();
+                                    let wv =
+                                        weight.at(&[co, (ci * k + ky) * k + kx]).unwrap();
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                        out.set(&[ni, co, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn spec_output_geometry() {
+        let s = Conv2dSpec::new(3, 8, 3, 1, 1).unwrap();
+        assert_eq!(s.output_hw(16, 16).unwrap(), (16, 16));
+        let s2 = Conv2dSpec::new(3, 8, 3, 2, 1).unwrap();
+        assert_eq!(s2.output_hw(16, 16).unwrap(), (8, 8));
+        assert!(Conv2dSpec::new(0, 8, 3, 1, 1).is_err());
+        assert!(s.output_hw(0, 0).is_err());
+    }
+
+    #[test]
+    fn conv_matches_naive_reference() {
+        let mut rng = TensorRng::seed_from(1);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let spec = Conv2dSpec::new(2, 3, 3, stride, pad).unwrap();
+            let x = Tensor::randn(&[2, 2, 6, 6], 0.0, 1.0, &mut rng);
+            let w = Tensor::randn(&[3, spec.patch_len()], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn(&[3], 0.0, 1.0, &mut rng);
+            let (fast, _) = conv2d(&x, &w, Some(&b), &spec).unwrap();
+            let slow = naive_conv(&x, &w, Some(&b), &spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.data().iter().zip(slow.data()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} (stride={stride} pad={pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which is exactly what backward needs.
+        let mut rng = TensorRng::seed_from(2);
+        let spec = Conv2dSpec::new(2, 1, 3, 1, 1).unwrap();
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let cols = im2col(&x, &spec).unwrap();
+        let y = Tensor::randn(cols.dims(), 0.0, 1.0, &mut rng);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &spec, 1, 5, 5).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = TensorRng::seed_from(3);
+        let spec = Conv2dSpec::new(1, 2, 3, 1, 1).unwrap();
+        let x = Tensor::randn(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn(&[2, spec.patch_len()], 0.0, 0.5, &mut rng);
+        let b = Tensor::zeros(&[2]);
+        let (y, cols) = conv2d(&x, &w, Some(&b), &spec).unwrap();
+        // loss = sum(y); upstream grad is all ones.
+        let gy = Tensor::ones(y.dims());
+        let (gx, gw, gb) = conv2d_backward(&gy, &cols, &w, &spec, (4, 4)).unwrap();
+
+        let eps = 1e-3;
+        // check a few weight coordinates
+        for &idx in &[0usize, 5, 11] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let (yp, _) = conv2d(&x, &wp, Some(&b), &spec).unwrap();
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!((num - gw.data()[idx]).abs() < 1e-1, "gw[{idx}]: {num} vs {}", gw.data()[idx]);
+        }
+        // check a few input coordinates
+        for &idx in &[0usize, 7, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let (yp, _) = conv2d(&xp, &w, Some(&b), &spec).unwrap();
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!((num - gx.data()[idx]).abs() < 1e-1, "gx[{idx}]: {num} vs {}", gx.data()[idx]);
+        }
+        // bias gradient is #output pixels per channel
+        assert_eq!(gb.data(), &[16.0, 16.0]);
+    }
+
+    #[test]
+    fn macs_counts_products() {
+        let spec = Conv2dSpec::new(3, 8, 3, 1, 1).unwrap();
+        // 16x16 out, 8 filters, 27 taps each
+        assert_eq!(spec.macs(16, 16).unwrap(), 16 * 16 * 8 * 27);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible public function in this crate returns this type; it
+/// implements [`std::error::Error`] so it composes with the error enums of
+/// the higher-level crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Shape that was expected by the operation.
+        expected: Vec<usize>,
+        /// Shape that was actually supplied.
+        actual: Vec<usize>,
+    },
+    /// The element count implied by a shape disagrees with the data length.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements supplied.
+        actual: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    MatmulDims {
+        /// Columns of the left operand.
+        lhs_cols: usize,
+        /// Rows of the right operand.
+        rhs_rows: usize,
+    },
+    /// A convolution/pooling geometry is impossible (e.g. kernel larger than
+    /// padded input).
+    InvalidGeometry(String),
+    /// A parameter was outside its documented domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape requires {expected} elements, got {actual}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::MatmulDims { lhs_cols, rhs_rows } => {
+                write!(f, "matmul inner dims disagree: lhs has {lhs_cols} cols, rhs has {rhs_rows} rows")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::ShapeMismatch { expected: vec![2, 2], actual: vec![3] },
+            TensorError::LengthMismatch { expected: 4, actual: 5 },
+            TensorError::RankMismatch { expected: 2, actual: 4 },
+            TensorError::MatmulDims { lhs_cols: 3, rhs_rows: 4 },
+            TensorError::InvalidGeometry("kernel exceeds input".into()),
+            TensorError::InvalidArgument("stride must be nonzero".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

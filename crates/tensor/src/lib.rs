@@ -1,0 +1,47 @@
+//! Dense `f32` tensor math for the DT-SNN reproduction.
+//!
+//! This crate provides the minimal-but-complete numeric substrate the rest of
+//! the workspace builds on: an owned, contiguous, row-major [`Tensor`] with
+//! elementwise arithmetic, matrix multiplication, im2col-based 2-D
+//! convolution, pooling, softmax and reduction kernels, and deterministic
+//! random initialization.
+//!
+//! Everything is pure safe Rust, single threaded and deterministic so that
+//! experiment results are exactly reproducible across runs.
+//!
+//! # Example
+//!
+//! ```
+//! use dtsnn_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), dtsnn_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod linalg;
+mod ops;
+mod pool;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use error::TensorError;
+pub use ops::{log_softmax_rows, softmax_rows};
+pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, PoolSpec};
+pub use rng::TensorRng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,228 @@
+//! Matrix multiplication kernels.
+//!
+//! Straightforward cache-friendly (i,k,j) loop ordering; plenty for the
+//! scaled-down networks this workspace trains, and deterministic.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product `self[m,k] × rhs[k,n] → [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2
+    /// and [`TensorError::MatmulDims`] when inner dims disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dtsnn_tensor::Tensor;
+    /// # fn main() -> Result<(), dtsnn_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?.data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = mat_dims(self)?;
+        let (k2, n) = mat_dims(rhs)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDims { lhs_cols: k, rhs_rows: k2 });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        let c = out.data_mut();
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    // Spike matrices are mostly zeros; skipping is a large win.
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ[k,m] × rhs[k,n] → [m,n]` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], with `self` read as `[k, m]`.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (k, m) = mat_dims(self)?;
+        let (k2, n) = mat_dims(rhs)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDims { lhs_cols: m, rhs_rows: k2 });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        let c = out.data_mut();
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self[m,k] × rhsᵀ[n,k] → [m,n]` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], with `rhs` read as `[n, k]`.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = mat_dims(self)?;
+        let (n, k2) = mat_dims(rhs)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDims { lhs_cols: k, rhs_rows: k2 });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        let c = out.data_mut();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds a length-`n` bias vector to every row of an `[m, n]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `bias` is not `[n]`.
+    pub fn add_row_bias(&self, bias: &Tensor) -> Result<Tensor> {
+        let (m, n) = mat_dims(self)?;
+        if bias.dims() != [n] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![n],
+                actual: bias.dims().to_vec(),
+            });
+        }
+        let mut out = self.clone();
+        let b = bias.data();
+        let c = out.data_mut();
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] += b[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Column-wise sum of an `[m, n]` matrix → `[n]` (bias gradients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        let (m, n) = mat_dims(self)?;
+        let mut out = Tensor::zeros(&[n]);
+        let a = self.data();
+        let o = out.data_mut();
+        for i in 0..m {
+            for j in 0..n {
+                o[j] += a[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn mat_dims(t: &Tensor) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.shape().rank() });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = TensorRng::seed_from(1);
+        let a = Tensor::randn(&[3, 3], 0.0, 1.0, &mut rng);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDims { .. })));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = TensorRng::seed_from(2);
+        let a = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng);
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose2d().unwrap().matmul(&b).unwrap();
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = TensorRng::seed_from(3);
+        let a = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 3], 0.0, 1.0, &mut rng);
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose2d().unwrap()).unwrap();
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bias_and_row_sum_are_adjoint_shapes() {
+        let x = Tensor::ones(&[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let y = x.add_row_bias(&b).unwrap();
+        assert_eq!(y.data(), &[2.0, 3.0, 4.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y.sum_rows().unwrap().data(), &[4.0, 6.0, 8.0]);
+        let bad = Tensor::zeros(&[4]);
+        assert!(x.add_row_bias(&bad).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Average pooling (the pooling used by the paper's spiking VGG/ResNet).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D average pool (square window, no padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Window extent (k×k).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pool spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for zero kernel or stride.
+    pub fn new(kernel: usize, stride: usize) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(TensorError::InvalidArgument("pool kernel and stride must be nonzero".into()));
+        }
+        Ok(PoolSpec { kernel, stride })
+    }
+
+    /// Output spatial extent for an `(h, w)` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the window exceeds the input.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.kernel > h || self.kernel > w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "pool window {} exceeds input {h}x{w}",
+                self.kernel
+            )));
+        }
+        Ok(((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1))
+    }
+}
+
+/// Average-pools `input` (`[n, c, h, w]`).
+///
+/// # Errors
+///
+/// Returns rank/geometry errors for malformed inputs.
+pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: d.len() });
+    }
+    let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.kernel;
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let src = input.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        let row = base + (oy * spec.stride + ky) * w + ox * spec.stride;
+                        for kx in 0..k {
+                            acc += src[row + kx];
+                        }
+                    }
+                    dst[obase + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each upstream gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns rank/geometry errors for malformed inputs.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    spec: &PoolSpec,
+    input_hw: (usize, usize),
+) -> Result<Tensor> {
+    let d = grad_out.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: d.len() });
+    }
+    let [n, c, oh, ow] = [d[0], d[1], d[2], d[3]];
+    let (h, w) = input_hw;
+    let (eh, ew) = spec.output_hw(h, w)?;
+    if (eh, ew) != (oh, ow) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c, eh, ew],
+            actual: d.to_vec(),
+        });
+    }
+    let k = spec.kernel;
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = grad_out.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let obase = (ni * c + ci) * oh * ow;
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = src[obase + oy * ow + ox] * inv;
+                    for ky in 0..k {
+                        let row = base + (oy * spec.stride + ky) * w + ox * spec.stride;
+                        for kx in 0..k {
+                            dst[row + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pool: `[n, c, h, w]` → `[n, c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-4-D input.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: d.len() });
+    }
+    let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    let src = input.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let mut acc = 0.0;
+            for p in 0..h * w {
+                acc += src[base + p];
+            }
+            dst[ni * c + ci] = acc * inv;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+
+    #[test]
+    fn pool_known_values() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let y = avg_pool2d(&x, &spec).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn pool_backward_conserves_gradient_mass() {
+        let mut rng = TensorRng::seed_from(4);
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let g = Tensor::randn(&[2, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let gx = avg_pool2d_backward(&g, &spec, (4, 4)).unwrap();
+        assert!((gx.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pool_backward_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(5);
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let x = Tensor::randn(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let y = avg_pool2d(&x, &spec).unwrap();
+        let gy = Tensor::ones(y.dims());
+        let gx = avg_pool2d_backward(&gy, &spec, (4, 4)).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let yp = avg_pool2d(&xp, &spec).unwrap();
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!((num - gx.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn global_pool_averages_each_channel() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2])
+            .unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(PoolSpec::new(0, 1).is_err());
+        let spec = PoolSpec::new(5, 1).unwrap();
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        assert!(avg_pool2d(&x, &spec).is_err());
+        let g = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(avg_pool2d_backward(&g, &PoolSpec::new(2, 2).unwrap(), (4, 4)).is_err());
+    }
+}

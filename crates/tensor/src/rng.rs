@@ -1,0 +1,150 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random number source used for every stochastic operation in
+/// the workspace (weight init, dataset synthesis, device-variation noise).
+///
+/// Wrapping [`StdRng`] behind a newtype keeps the seeding policy in one place
+/// and lets higher crates split reproducible sub-streams per component.
+///
+/// # Example
+///
+/// ```
+/// use dtsnn_tensor::TensorRng;
+///
+/// let mut a = TensorRng::seed_from(42);
+/// let mut b = TensorRng::seed_from(42);
+/// assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    inner: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        TensorRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child stream; deterministic in `(self, tag)`.
+    ///
+    /// Different `tag` values give decorrelated streams, so components can
+    /// draw noise without perturbing each other's sequences.
+    pub fn fork(&mut self, tag: u64) -> Self {
+        let base: u64 = self.inner.gen();
+        TensorRng::seed_from(base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal sample scaled to `mean + std * z` via Box–Muller.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        // Box–Muller keeps us off external distribution crates.
+        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f32>() < p
+    }
+
+    /// Fills `out` with i.i.d. normal samples.
+    pub fn fill_normal(&mut self, out: &mut [f32], mean: f32, std: f32) {
+        for v in out.iter_mut() {
+            *v = self.normal(mean, std);
+        }
+    }
+
+    /// Fills `out` with i.i.d. uniform samples in `[lo, hi)`.
+    pub fn fill_uniform(&mut self, out: &mut [f32], lo: f32, hi: f32) {
+        for v in out.iter_mut() {
+            *v = self.uniform(lo, hi);
+        }
+    }
+
+    /// Fisher–Yates shuffle of `indices`.
+    pub fn shuffle(&mut self, indices: &mut [usize]) {
+        for i in (1..indices.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(7);
+        for _ in 0..32 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn forked_streams_decorrelate() {
+        let mut root = TensorRng::seed_from(7);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let xs: Vec<f32> = (0..16).map(|_| a.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f32> = (0..16).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = TensorRng::seed_from(3);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal(2.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 0.25).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = TensorRng::seed_from(11);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f32 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut idx: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut idx);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = TensorRng::seed_from(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

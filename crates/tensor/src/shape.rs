@@ -1,0 +1,178 @@
+use crate::TensorError;
+
+/// An owned tensor shape: an ordered list of dimension extents.
+///
+/// Row-major (C order) throughout the workspace; images use `NCHW`.
+///
+/// # Example
+///
+/// ```
+/// use dtsnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// ```
+    /// use dtsnn_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the index rank differs and
+    /// [`TensorError::InvalidArgument`] when a coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch { expected: self.rank(), actual: index.len() });
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (d, (&i, &s)) in index.iter().zip(strides.iter()).enumerate() {
+            if i >= self.0[d] {
+                return Err(TensorError::InvalidArgument(format!(
+                    "index {i} out of range for dim {d} of extent {}",
+                    self.0[d]
+                )));
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Asserts this shape equals `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when they differ.
+    pub fn expect_eq(&self, other: &Shape) -> Result<(), TensorError> {
+        if self != other {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.0.clone(),
+                actual: other.0.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[4, 5]);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.rank(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_shape_is_scalar_like() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn zero_extent_is_empty() {
+        assert!(Shape::new(&[3, 0, 2]).is_empty());
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank_and_range() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(s.offset(&[1]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(s.offset(&[2, 0]), Err(TensorError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn expect_eq_detects_mismatch() {
+        let a = Shape::new(&[2, 2]);
+        let b = Shape::new(&[4]);
+        assert!(a.expect_eq(&a.clone()).is_ok());
+        assert!(matches!(a.expect_eq(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the tensor algebra that everything above relies
+//! on: linearity, adjointness, involution, conservation.
+
+use dtsnn_tensor::{
+    avg_pool2d, avg_pool2d_backward, col2im, im2col, softmax_rows, Conv2dSpec, PoolSpec, Tensor,
+    TensorRng,
+};
+use proptest::prelude::*;
+
+/// Random tensor of the given shape, driven by a proptest seed.
+fn tensor_from_seed(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = TensorRng::seed_from(seed);
+    Tensor::randn(dims, 0.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_is_linear_in_lhs(seed in 0u64..1000, alpha in -3.0f32..3.0) {
+        let a = tensor_from_seed(&[3, 4], seed);
+        let b = tensor_from_seed(&[4, 2], seed ^ 1);
+        // (αA)B == α(AB)
+        let lhs = a.scale(alpha).matmul(&b).unwrap();
+        let rhs = a.matmul(&b).unwrap().scale(alpha);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..1000) {
+        let a = tensor_from_seed(&[2, 5], seed);
+        let b = tensor_from_seed(&[2, 5], seed ^ 2);
+        let c = tensor_from_seed(&[5, 3], seed ^ 3);
+        let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let a = tensor_from_seed(&[rows, cols], seed);
+        let back = a.transpose2d().unwrap().transpose2d().unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..1000) {
+        // (AB)ᵀ == Bᵀ Aᵀ
+        let a = tensor_from_seed(&[3, 4], seed);
+        let b = tensor_from_seed(&[4, 2], seed ^ 5);
+        let lhs = a.matmul(&b).unwrap().transpose2d().unwrap();
+        let rhs = b
+            .transpose2d()
+            .unwrap()
+            .matmul(&a.transpose2d().unwrap())
+            .unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        channels in 1usize..3,
+        size in 4usize..8,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> for every geometry
+        let spec = Conv2dSpec::new(channels, 1, 3, stride, pad).unwrap();
+        if spec.output_hw(size, size).is_err() {
+            return Ok(());
+        }
+        let x = tensor_from_seed(&[1, channels, size, size], seed);
+        let cols = im2col(&x, &spec).unwrap();
+        let y = tensor_from_seed(cols.dims(), seed ^ 7);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &spec, 1, size, size).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn pooling_preserves_mean(seed in 0u64..1000) {
+        // 2×2 stride-2 average pooling preserves the global mean exactly
+        let x = tensor_from_seed(&[1, 2, 4, 4], seed);
+        let y = avg_pool2d(&x, &PoolSpec::new(2, 2).unwrap()).unwrap();
+        prop_assert!((x.mean() - y.mean()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pool_backward_conserves_gradient(seed in 0u64..1000) {
+        let g = tensor_from_seed(&[1, 2, 2, 2], seed);
+        let gx = avg_pool2d_backward(&g, &PoolSpec::new(2, 2).unwrap(), (4, 4)).unwrap();
+        prop_assert!((g.sum() - gx.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_invariant_to_logit_shift(seed in 0u64..1000, shift in -20.0f32..20.0) {
+        let x = tensor_from_seed(&[2, 6], seed);
+        let p1 = softmax_rows(&x).unwrap();
+        let p2 = softmax_rows(&x.add_scalar(shift)).unwrap();
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn concat_then_rows_roundtrip(n1 in 1usize..4, n2 in 1usize..4, seed in 0u64..1000) {
+        let a = tensor_from_seed(&[n1, 3], seed);
+        let b = tensor_from_seed(&[n2, 3], seed ^ 11);
+        let c = Tensor::concat_axis0(&[&a, &b]).unwrap();
+        prop_assert_eq!(c.dims(), &[n1 + n2, 3]);
+        for i in 0..n1 {
+            prop_assert_eq!(c.row(i).unwrap(), a.row(i).unwrap());
+        }
+        for i in 0..n2 {
+            prop_assert_eq!(c.row(n1 + i).unwrap(), b.row(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(seed in 0u64..1000, alpha in -2.0f32..2.0) {
+        let a = tensor_from_seed(&[7], seed);
+        let b = tensor_from_seed(&[7], seed ^ 13);
+        let mut fast = a.clone();
+        fast.axpy(alpha, &b).unwrap();
+        let slow = a.add(&b.scale(alpha)).unwrap();
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the DT-SNN reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency:
+//!
+//! - [`tensor`] — dense f32 tensor math
+//! - [`snn`] — spiking layers and surrogate-gradient training
+//! - [`data`] — synthetic vision / event-stream datasets
+//! - [`imc`] — the tiled RRAM in-memory-computing simulator
+//! - [`dtsnn`] — the dynamic-timestep inference policy and harness
+
+pub use dtsnn_core as dtsnn;
+pub use dtsnn_data as data;
+pub use dtsnn_imc as imc;
+pub use dtsnn_snn as snn;
+pub use dtsnn_tensor as tensor;

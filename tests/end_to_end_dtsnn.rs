@@ -1,0 +1,154 @@
+//! End-to-end integration: synthetic data → surrogate-gradient training →
+//! entropy-gated dynamic inference, checking the paper's core claims at a
+//! scale that runs in seconds.
+
+use dt_snn::data::{SyntheticVision, VisionConfig};
+use dt_snn::dtsnn::{
+    DynamicEvaluation, DynamicInference, ExitPolicy, StaticEvaluation,
+};
+use dt_snn::snn::{
+    vgg_small, LossKind, ModelConfig, SgdConfig, Snn, Trainer, TrainerConfig,
+};
+use dt_snn::tensor::TensorRng;
+
+fn small_dataset(seed: u64) -> dt_snn::data::Dataset {
+    SyntheticVision::generate(
+        &VisionConfig {
+            classes: 4,
+            train_size: 160,
+            test_size: 80,
+            prototype_similarity: 0.6,
+            ..VisionConfig::default()
+        },
+        seed,
+    )
+    .expect("valid dataset config")
+}
+
+fn trained_net(data: &dt_snn::data::Dataset, loss: LossKind, seed: u64) -> Snn {
+    let cfg = ModelConfig {
+        num_classes: data.classes,
+        width: 16,
+        ..ModelConfig::default()
+    };
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = vgg_small(&cfg, &mut rng).expect("valid model config");
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 6,
+        batch_size: 32,
+        timesteps: 4,
+        loss,
+        sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+        seed,
+    })
+    .expect("valid trainer config");
+    trainer.fit(&mut net, &data.train.frames(), &data.train.labels()).expect("training succeeds");
+    net
+}
+
+#[test]
+fn dtsnn_reaches_iso_accuracy_with_fewer_timesteps() {
+    let data = small_dataset(1);
+    let mut net = trained_net(&data, LossKind::PerTimestep, 2);
+    let frames = data.test.frames();
+    let labels = data.test.labels();
+    let static_eval = StaticEvaluation::run(&mut net, &frames, &labels, 4).unwrap();
+    let static_acc = static_eval.full_window_accuracy();
+    assert!(static_acc > 0.5, "static model underfit: {static_acc}");
+
+    let runner = DynamicInference::new(ExitPolicy::entropy(0.3).unwrap(), 4).unwrap();
+    let eval = DynamicEvaluation::run(&mut net, &runner, &frames, &labels, None).unwrap();
+    // the headline claim: near-iso accuracy at fewer average timesteps
+    assert!(eval.avg_timesteps < 4.0, "no early exits happened");
+    assert!(
+        eval.accuracy >= static_acc - 0.08,
+        "dynamic accuracy {} collapsed vs static {static_acc}",
+        eval.accuracy
+    );
+}
+
+#[test]
+fn larger_theta_monotonically_reduces_avg_timesteps() {
+    let data = small_dataset(3);
+    let mut net = trained_net(&data, LossKind::PerTimestep, 4);
+    let frames = data.test.frames();
+    let labels = data.test.labels();
+    let mut last = f32::INFINITY;
+    for theta in [0.05f32, 0.2, 0.5, 0.9] {
+        let runner = DynamicInference::new(ExitPolicy::entropy(theta).unwrap(), 4).unwrap();
+        let eval = DynamicEvaluation::run(&mut net, &runner, &frames, &labels, None).unwrap();
+        assert!(
+            eval.avg_timesteps <= last + 1e-6,
+            "θ={theta}: avg T̂ {} increased over {last}",
+            eval.avg_timesteps
+        );
+        last = eval.avg_timesteps;
+    }
+}
+
+#[test]
+fn early_exits_happen_on_easier_samples() {
+    let data = small_dataset(5);
+    let mut net = trained_net(&data, LossKind::PerTimestep, 6);
+    let frames = data.test.frames();
+    let labels = data.test.labels();
+    let difficulties = data.test.difficulties();
+    let runner = DynamicInference::new(ExitPolicy::entropy(0.15).unwrap(), 4).unwrap();
+    let eval =
+        DynamicEvaluation::run(&mut net, &runner, &frames, &labels, Some(&difficulties)).unwrap();
+    let early: Vec<f32> = eval
+        .samples
+        .iter()
+        .filter(|s| s.timesteps_used == 1)
+        .map(|s| s.difficulty)
+        .collect();
+    let late: Vec<f32> = eval
+        .samples
+        .iter()
+        .filter(|s| s.timesteps_used == 4)
+        .map(|s| s.difficulty)
+        .collect();
+    if early.len() >= 5 && late.len() >= 5 {
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&early) < mean(&late),
+            "early bucket difficulty {} ≥ late bucket {}",
+            mean(&early),
+            mean(&late)
+        );
+    }
+}
+
+#[test]
+fn per_timestep_loss_lifts_first_timestep_accuracy() {
+    let data = small_dataset(7);
+    let mut eq9 = trained_net(&data, LossKind::MeanOutput, 8);
+    let mut eq10 = trained_net(&data, LossKind::PerTimestep, 8);
+    let frames = data.test.frames();
+    let labels = data.test.labels();
+    let e9 = StaticEvaluation::run(&mut eq9, &frames, &labels, 4).unwrap();
+    let e10 = StaticEvaluation::run(&mut eq10, &frames, &labels, 4).unwrap();
+    // Fig. 7's claim, with slack for the small scale: Eq. 10's first-timestep
+    // accuracy is at least as good as Eq. 9's.
+    assert!(
+        e10.accuracy_by_t[0] >= e9.accuracy_by_t[0] - 0.05,
+        "Eq.10 T=1 {} much worse than Eq.9 T=1 {}",
+        e10.accuracy_by_t[0],
+        e9.accuracy_by_t[0]
+    );
+}
+
+#[test]
+fn full_window_dynamic_prediction_matches_static() {
+    let data = small_dataset(9);
+    let mut net = trained_net(&data, LossKind::PerTimestep, 10);
+    // θ → 0 never exits early, so DT-SNN must reproduce static predictions
+    let runner = DynamicInference::new(ExitPolicy::entropy(1e-7).unwrap(), 4).unwrap();
+    for sample in data.test.samples.iter().take(10) {
+        let dynamic = runner.run(&mut net, &sample.frames).unwrap();
+        let static_pred =
+            dt_snn::dtsnn::static_inference(&mut net, &sample.frames, 4).unwrap();
+        assert_eq!(dynamic.prediction, static_pred);
+        assert_eq!(dynamic.timesteps_used, 4);
+    }
+}
