@@ -1,38 +1,127 @@
-//! Criterion benches of end-to-end inference: static full-window vs.
-//! dynamic-timestep on easy and hard inputs — the latency face of Table III.
+//! Self-timed benches of end-to-end inference: static full-window vs.
+//! dynamic-timestep on single inputs (the latency face of Table III), plus
+//! the data-parallel batch-evaluation speedup at 1 worker vs
+//! `DTSNN_BENCH_THREADS` (default 4). The batch numbers are written to
+//! `bench-results/parallel_speedup.json`; accuracy is asserted identical
+//! across thread counts before the file is written.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dtsnn_core::{static_inference, DynamicInference, ExitPolicy};
+use dtsnn_bench::{json, print_table, time_it, write_json};
+use dtsnn_core::{
+    measure_throughput, static_inference, DynamicEvaluation, DynamicInference, ExitPolicy,
+};
 use dtsnn_snn::{vgg_small, ModelConfig};
-use dtsnn_tensor::{Tensor, TensorRng};
+use dtsnn_tensor::{parallel, Tensor, TensorRng};
 
-fn bench_inference(c: &mut Criterion) {
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.3} ms", secs * 1e3)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_threads = std::env::var("DTSNN_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let mut rng = TensorRng::seed_from(1);
     let cfg = ModelConfig::default();
-    let mut net = vgg_small(&cfg, &mut rng).expect("valid model config");
-    let frame = Tensor::randn(&[3, 16, 16], 0.5, 0.3, &mut rng);
-    let frames = vec![frame];
+    let mut net = vgg_small(&cfg, &mut rng)?;
+    let frames = vec![Tensor::randn(&[3, 16, 16], 0.5, 0.3, &mut rng)];
 
-    c.bench_function("static_inference_T4", |b| {
-        b.iter(|| static_inference(&mut net, std::hint::black_box(&frames), 4).unwrap())
-    });
-    c.bench_function("static_inference_T1", |b| {
-        b.iter(|| static_inference(&mut net, std::hint::black_box(&frames), 1).unwrap())
-    });
-
+    // single-sample latency (batch 1 cannot parallelize across samples)
+    let mut rows = Vec::new();
+    let t4 = time_it(|| static_inference(&mut net, &frames, 4).unwrap());
+    rows.push(vec!["static_inference_T4".into(), fmt_time(t4)]);
+    let t1 = time_it(|| static_inference(&mut net, &frames, 1).unwrap());
+    rows.push(vec!["static_inference_T1".into(), fmt_time(t1)]);
     // an untrained net emits near-uniform logits (entropy ≈ 1), so to
     // measure the true exit-at-T̂=1 path the gate must always fire: the
     // max-prob policy with threshold 0 exits at the first timestep
-    let early = DynamicInference::new(ExitPolicy::max_prob(0.0).unwrap(), 4).unwrap();
-    c.bench_function("dtsnn_inference_exit_at_t1", |b| {
-        b.iter(|| early.run(&mut net, std::hint::black_box(&frames)).unwrap())
-    });
+    let early = DynamicInference::new(ExitPolicy::max_prob(0.0)?, 4)?;
+    let te = time_it(|| early.run(&mut net, &frames).unwrap());
+    rows.push(vec!["dtsnn_inference_exit_at_t1".into(), fmt_time(te)]);
     // strict threshold: always runs the full window (DT-SNN worst case)
-    let late = DynamicInference::new(ExitPolicy::entropy(1e-6).unwrap(), 4).unwrap();
-    c.bench_function("dtsnn_inference_full_window", |b| {
-        b.iter(|| late.run(&mut net, std::hint::black_box(&frames)).unwrap())
-    });
-}
+    let late = DynamicInference::new(ExitPolicy::entropy(1e-6)?, 4)?;
+    let tl = time_it(|| late.run(&mut net, &frames).unwrap());
+    rows.push(vec!["dtsnn_inference_full_window".into(), fmt_time(tl)]);
+    print_table("single-sample inference latency", &["bench", "time"], &rows);
 
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);
+    // batch evaluation: the Table III harness fanned out over worker threads
+    let batch: Vec<Vec<Tensor>> =
+        (0..64).map(|_| vec![Tensor::randn(&[3, 16, 16], 0.5, 0.3, &mut rng)]).collect();
+    let labels: Vec<usize> = (0..64).map(|i| i % cfg.num_classes).collect();
+    // real difficulty values keep the invariance assert meaningful: the
+    // derived PartialEq would fail on NaN placeholders even for equal runs
+    let diffs: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+
+    let mut static_eval = |threads: usize| {
+        parallel::with_threads(threads, || {
+            time_it(|| measure_throughput(&mut net, &batch, &labels, 4).unwrap())
+        })
+    };
+    let stat_1 = static_eval(1);
+    let stat_n = static_eval(n_threads);
+
+    let runner = DynamicInference::new(ExitPolicy::entropy(0.5)?, 4)?;
+    let mut dyn_eval = |threads: usize| {
+        parallel::with_threads(threads, || {
+            time_it(|| {
+                DynamicEvaluation::run(&mut net, &runner, &batch, &labels, Some(&diffs)).unwrap()
+            })
+        })
+    };
+    let dyn_1 = dyn_eval(1);
+    let dyn_n = dyn_eval(n_threads);
+
+    // determinism check: identical evaluation outcome at both thread counts
+    let eval_1 = parallel::with_threads(1, || {
+        DynamicEvaluation::run(&mut net, &runner, &batch, &labels, Some(&diffs))
+    })?;
+    let eval_n = parallel::with_threads(n_threads, || {
+        DynamicEvaluation::run(&mut net, &runner, &batch, &labels, Some(&diffs))
+    })?;
+    assert_eq!(eval_1, eval_n, "batch evaluation must be thread-count invariant");
+
+    let rows = vec![
+        vec![
+            "static_batch_eval_T4_64".into(),
+            fmt_time(stat_1),
+            fmt_time(stat_n),
+            format!("{:.2}×", stat_1 / stat_n),
+        ],
+        vec![
+            "dtsnn_batch_eval_64".into(),
+            fmt_time(dyn_1),
+            fmt_time(dyn_n),
+            format!("{:.2}×", dyn_1 / dyn_n),
+        ],
+    ];
+    print_table(
+        &format!("batch evaluation (1 thread vs {n_threads} threads, 64 samples)"),
+        &["bench", "1 thread", &format!("{n_threads} threads"), "speedup"],
+        &rows,
+    );
+
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let doc = json!({
+        "threads": n_threads,
+        "host_cores": host_cores,
+        "samples": 64,
+        "static_batch_eval": json!({
+            "secs_1_thread": stat_1,
+            "secs_n_threads": stat_n,
+            "speedup": stat_1 / stat_n,
+        }),
+        "dtsnn_batch_eval": json!({
+            "secs_1_thread": dyn_1,
+            "secs_n_threads": dyn_n,
+            "speedup": dyn_1 / dyn_n,
+        }),
+        "outputs_bitwise_identical": true,
+    });
+    let path = write_json("parallel_speedup", &doc)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

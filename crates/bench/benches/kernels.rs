@@ -1,63 +1,88 @@
-//! Criterion micro-benches for the hot kernels: entropy/softmax (the σ–E
-//! datapath), LIF stepping, conv2d forward, and the crossbar cost model.
+//! Self-timed micro-benches for the hot kernels: entropy/softmax (the σ–E
+//! datapath), LIF stepping, matmul/conv2d forward, and the crossbar cost
+//! model. The threaded kernels (matmul, conv2d) are timed at 1 worker and at
+//! `DTSNN_BENCH_THREADS` (default 4) workers to report the speedup; outputs
+//! are bitwise identical either way, so only wall-clock changes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtsnn_bench::{print_table, time_it};
 use dtsnn_imc::{ChipMapping, CostModel, HardwareConfig, SigmaEModule};
 use dtsnn_snn::{Layer, LifConfig, LifNeuron, Mode};
-use dtsnn_tensor::{conv2d, softmax_rows, Conv2dSpec, Tensor, TensorRng};
+use dtsnn_tensor::{conv2d, parallel, softmax_rows, Conv2dSpec, Tensor, TensorRng};
 
-fn bench_softmax_entropy(c: &mut Criterion) {
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.3} ms", secs * 1e3)
+    }
+}
+
+fn main() {
+    let n_threads = std::env::var("DTSNN_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    // serial-only kernels: one measurement each
+    fn serial(rows: &mut Vec<Vec<String>>, name: &str, secs: f64) {
+        rows.push(vec![name.to_string(), fmt_time(secs), "-".into(), "-".into()]);
+    }
+    // threaded kernels: 1 worker vs n_threads workers
+    fn pair(rows: &mut Vec<Vec<String>>, n_threads: usize, name: &str, mut f: impl FnMut()) {
+        let t1 = parallel::with_threads(1, || time_it(&mut f));
+        let tn = parallel::with_threads(n_threads, || time_it(&mut f));
+        rows.push(vec![
+            name.to_string(),
+            fmt_time(t1),
+            fmt_time(tn),
+            format!("{:.2}×", t1 / tn),
+        ]);
+    }
+
     let mut rng = TensorRng::seed_from(1);
     let logits = Tensor::randn(&[1, 100], 0.0, 2.0, &mut rng);
-    c.bench_function("softmax_rows_100c", |b| {
-        b.iter(|| softmax_rows(std::hint::black_box(&logits)).unwrap())
-    });
+    serial(&mut rows, "softmax_rows_100c", time_it(|| softmax_rows(&logits).unwrap()));
+
     let module = SigmaEModule::new(&HardwareConfig::default()).unwrap();
     let raw: Vec<f32> = logits.data().to_vec();
-    c.bench_function("sigma_e_lut_evaluate_100c", |b| {
-        b.iter(|| module.evaluate(std::hint::black_box(&raw), 0.3).unwrap())
-    });
-}
+    serial(&mut rows, "sigma_e_lut_evaluate_100c", time_it(|| module.evaluate(&raw, 0.3).unwrap()));
 
-fn bench_lif_step(c: &mut Criterion) {
-    let mut rng = TensorRng::seed_from(2);
-    let input = Tensor::randn(&[32, 4096], 0.5, 0.5, &mut rng);
-    c.bench_function("lif_step_32x4096", |b| {
-        b.iter_batched(
-            || LifNeuron::new(LifConfig::default()),
-            |mut lif| lif.forward(std::hint::black_box(&input), Mode::Eval).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-}
+    let lif_input = Tensor::randn(&[32, 4096], 0.5, 0.5, &mut rng);
+    serial(
+        &mut rows,
+        "lif_step_32x4096",
+        time_it(|| {
+            let mut lif = LifNeuron::new(LifConfig::default());
+            lif.forward(&lif_input, Mode::Eval).unwrap()
+        }),
+    );
 
-fn bench_conv2d(c: &mut Criterion) {
-    let mut rng = TensorRng::seed_from(3);
-    let spec = Conv2dSpec::new(32, 64, 3, 1, 1).unwrap();
-    let x = Tensor::randn(&[1, 32, 16, 16], 0.0, 1.0, &mut rng);
-    let w = Tensor::randn(&[64, spec.patch_len()], 0.0, 0.1, &mut rng);
-    c.bench_function("conv2d_32to64_16px", |b| {
-        b.iter(|| conv2d(std::hint::black_box(&x), &w, None, &spec).unwrap())
-    });
-}
-
-fn bench_cost_model(c: &mut Criterion) {
     let config = HardwareConfig::default();
     let geometry = dtsnn_snn::vgg16_geometry(32, 3, 10);
     let mapping = ChipMapping::map(&geometry, &config).unwrap();
     let model = CostModel::new(mapping, config).unwrap();
     let mut densities = vec![0.2f32; geometry.len()];
     densities[0] = 1.0;
-    c.bench_function("vgg16_timestep_energy", |b| {
-        b.iter(|| model.timestep_energy(std::hint::black_box(&densities)).unwrap())
-    });
-}
+    serial(&mut rows, "vgg16_timestep_energy", time_it(|| model.timestep_energy(&densities).unwrap()));
 
-criterion_group!(
-    benches,
-    bench_softmax_entropy,
-    bench_lif_step,
-    bench_conv2d,
-    bench_cost_model
-);
-criterion_main!(benches);
+    let a = Tensor::randn(&[256, 256], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[256, 256], 0.0, 1.0, &mut rng);
+    pair(&mut rows, n_threads, "matmul_256x256x256", || {
+        a.matmul(&b).unwrap();
+    });
+
+    let spec = Conv2dSpec::new(32, 64, 3, 1, 1).unwrap();
+    let x = Tensor::randn(&[8, 32, 16, 16], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn(&[64, spec.patch_len()], 0.0, 0.1, &mut rng);
+    pair(&mut rows, n_threads, "conv2d_32to64_16px_n8", || {
+        conv2d(&x, &w, None, &spec).unwrap();
+    });
+
+    print_table(
+        &format!("kernel micro-benches (1 thread vs {n_threads} threads)"),
+        &["kernel", "1 thread", &format!("{n_threads} threads"), "speedup"],
+        &rows,
+    );
+}

@@ -7,9 +7,10 @@
 //! entropy and correctness. A strongly negative correlation and a
 //! monotonically falling diagram validate the exit rule.
 
-use dtsnn_bench::{print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_bench::{json, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::{
-    reliability_bins, score_correctness_correlation, DynamicInference, ExitPolicy,
+    collect_exit_scores, reliability_bins, score_correctness_correlation, DynamicInference,
+    ExitPolicy,
 };
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
@@ -24,13 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // θ = 1 exits at the first timestep for any non-uniform output, so the
     // outcome's prediction and score both describe t = 1.
     let runner = DynamicInference::new(ExitPolicy::entropy(1.0)?, t_max)?;
-    let mut scores = Vec::new();
-    let mut corrects = Vec::new();
-    for (sample, &label) in dataset.test.samples.iter().zip(&dataset.test.labels()) {
-        let out = runner.run(&mut net, &sample.frames)?;
-        scores.push(out.scores[0]);
-        corrects.push(out.prediction == label);
-    }
+    let (scores, corrects) =
+        collect_exit_scores(&mut net, &runner, &dataset.test.frames(), &dataset.test.labels())?;
     let bins = reliability_bins(&scores, &corrects, 5)?;
     let mut rows = Vec::new();
     for b in &bins {
@@ -61,9 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    let json = serde_json::json!({
+    let json = json!({
         "correlation": r,
-        "bins": bins.iter().map(|b| serde_json::json!({
+        "bins": bins.iter().map(|b| json!({
             "lo": b.lo, "hi": b.hi, "count": b.count,
             "accuracy": if b.accuracy.is_nan() { None } else { Some(b.accuracy) },
         })).collect::<Vec<_>>(),

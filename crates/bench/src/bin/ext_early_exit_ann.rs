@@ -8,7 +8,7 @@
 //! each threshold to iso-accuracy with its own full model, and compares the
 //! first-gate exit fraction and the compute saved.
 
-use dtsnn_bench::{model_config_for, print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_bench::{json, model_config_for, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy};
 use dtsnn_data::Preset;
 use dtsnn_imc::exact_normalized_entropy;
@@ -151,11 +151,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npaper claim: DT-SNN's first gate serves the majority; the ANN's first exit serves marginal examples");
     let path = write_json(
         "ext_early_exit_ann",
-        &serde_json::json!({
-            "dtsnn": {"theta": snn_theta, "accuracy": snn_eval.accuracy,
-                       "first_gate_fraction": snn_first, "compute_fraction": snn_compute},
-            "ee_ann": {"theta": ann_theta, "accuracy": ann_acc,
-                       "first_gate_fraction": ann_first, "compute_fraction": ann_compute},
+        &json!({
+            "dtsnn": json!({"theta": snn_theta, "accuracy": snn_eval.accuracy,
+                       "first_gate_fraction": snn_first, "compute_fraction": snn_compute}),
+            "ee_ann": json!({"theta": ann_theta, "accuracy": ann_acc,
+                       "first_gate_fraction": ann_first, "compute_fraction": ann_compute}),
         }),
     )?;
     println!("wrote {}", path.display());

@@ -8,7 +8,7 @@
 //! on the paper-size VGG-16 mapping at the measured DT-SNN operating points
 //! and shows where each schedule wins — no training needed.
 
-use dtsnn_bench::{print_table, write_json};
+use dtsnn_bench::{json, print_table, write_json};
 use dtsnn_imc::{ChipMapping, CostModel, HardwareConfig, TimestepSchedule};
 use dtsnn_snn::vgg16_geometry;
 
@@ -58,10 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2}", pipe.latency_ns() / 1e3),
             format!("{:.2}×", pipe.edp() / seq.edp()),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "config": label,
-            "sequential": {"energy_pj": seq.energy_pj(), "latency_ns": seq.latency_ns(), "edp": seq.edp()},
-            "pipelined": {"energy_pj": pipe.energy_pj(), "latency_ns": pipe.latency_ns(), "edp": pipe.edp()},
+            "sequential": json!({"energy_pj": seq.energy_pj(), "latency_ns": seq.latency_ns(), "edp": seq.edp()}),
+            "pipelined": json!({"energy_pj": pipe.energy_pj(), "latency_ns": pipe.latency_ns(), "edp": pipe.edp()}),
         }));
     }
     print_table(
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\npaper design choice: sequential scheduling avoids flush cost on dynamic exits;");
     println!("expected: pipelining helps the static SNN but inflates DT-SNN energy at low T̂");
-    let path = write_json("ext_pipeline_ablation", &serde_json::Value::Array(json))?;
+    let path = write_json("ext_pipeline_ablation", &json::Value::Array(json))?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! point at iso-accuracy with the full-window baseline, mirroring DESIGN.md
 //! §5's ablation list.
 
-use dtsnn_bench::{model_config_for, print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_bench::{json, model_config_for, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy, StaticEvaluation};
 use dtsnn_data::Preset;
 use dtsnn_snn::{LifConfig, LossKind, ResetMode, SgdConfig, Trainer, TrainerConfig};
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2}%", acc * 100.0),
             label.clone(),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "policy": name, "avg_timesteps": avg_t, "accuracy": acc, "best": label,
         }));
         Ok(())
@@ -99,7 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2}%", eval.full_window_accuracy() * 100.0),
             format!("{:.2}% @T̂={:.2}", dyn_eval.accuracy * 100.0, dyn_eval.avg_timesteps),
         ]);
-        json_r.push(serde_json::json!({
+        json_r.push(json!({
             "reset": format!("{reset:?}"),
             "static_accuracy": eval.full_window_accuracy(),
             "dtsnn_accuracy": dyn_eval.accuracy,
@@ -113,7 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let path = write_json(
         "ext_policy_ablation",
-        &serde_json::json!({"policies": json, "reset_modes": json_r}),
+        &json!({"policies": json, "reset_modes": json_r}),
     )?;
     println!("wrote {}", path.display());
     Ok(())

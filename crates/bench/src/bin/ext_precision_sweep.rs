@@ -7,9 +7,7 @@
 //! per device squeeze more levels into the same conductance range, amplifying
 //! the impact of variation. The sweep exposes that accuracy/energy trade-off.
 
-use dtsnn_bench::{
-    print_table, train_model, write_json, Arch, ExpConfig,
-};
+use dtsnn_bench::{json, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy, HardwareProfile};
 use dtsnn_data::Preset;
 use dtsnn_imc::{perturb_network, HardwareConfig};
@@ -61,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{avg_t:.2}"),
             format!("{:.2}", cost.energy_pj() / 1e6),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "device_bits": device_bits,
             "slices_per_weight": hw.slices_per_weight(),
             "noisy_accuracy": acc,
@@ -75,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
     println!("\nTable I's 4-bit choice balances slice count (energy) against variation sensitivity");
-    let path = write_json("ext_precision_sweep", &serde_json::Value::Array(json))?;
+    let path = write_json("ext_precision_sweep", &json::Value::Array(json))?;
     println!("wrote {}", path.display());
     Ok(())
 }

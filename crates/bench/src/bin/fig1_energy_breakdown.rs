@@ -8,7 +8,7 @@
 //! true VGG-16 layer geometry (mapping needs no trained weights) at a
 //! nominal spike density and regenerates both panels.
 
-use dtsnn_bench::{print_table, write_json};
+use dtsnn_bench::{json, print_table, write_json};
 use dtsnn_imc::{ChipMapping, Component, CostModel, HardwareConfig};
 use dtsnn_snn::vgg16_geometry;
 
@@ -30,14 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Panel A: breakdown at T = 4 --------------------------------------
     let cost = model.inference_cost(&densities, 4.0, None)?;
     let mut rows = Vec::new();
-    let mut json_a = serde_json::Map::new();
+    let mut json_a = json::Map::new();
     for c in Component::ALL {
         let frac = cost.energy.fraction(c);
         if frac == 0.0 {
             continue;
         }
         rows.push(vec![c.name().to_string(), format!("{:.1}%", frac * 100.0)]);
-        json_a.insert(c.name().to_string(), serde_json::json!(frac));
+        json_a.insert(c.name().to_string(), json!(frac));
     }
     print_table("Fig. 1(A): energy breakdown, VGG-16 @ T=4", &["component", "share"], &rows);
     println!(
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{e_ratio:.2}×"),
             format!("{l_ratio:.2}×"),
         ]);
-        series.push(serde_json::json!({"t": t, "energy": e_ratio, "latency": l_ratio}));
+        series.push(json!({"t": t, "energy": e_ratio, "latency": l_ratio}));
     }
     print_table(
         "Fig. 1(B): energy & latency vs timesteps (normalized to T=1)",
@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sigma_e_ratio = model.sigma_e_energy(10) / one_t;
     println!("\nσ–E module energy per timestep = {sigma_e_ratio:.2e} × one-timestep inference energy (paper: ≈ 2e-5)");
 
-    let json = serde_json::json!({
+    let json = json!({
         "panel_a_fractions": json_a,
         "panel_b_series": series,
         "sigma_e_ratio": sigma_e_ratio,

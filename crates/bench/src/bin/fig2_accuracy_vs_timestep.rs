@@ -8,7 +8,7 @@
 //! classified with fewer than full timesteps (the observation motivating
 //! DT-SNN in Sec. III-A).
 
-use dtsnn_bench::{print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_bench::{json, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::StaticEvaluation;
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let presets = [Preset::Cifar10, Preset::Cifar100, Preset::TinyImageNet];
     let t_max = 4;
     let mut rows = Vec::new();
-    let mut json = serde_json::Map::new();
+    let mut json = json::Map::new();
     for preset in presets {
         let dataset = preset.generate(exp.scale, exp.seed)?;
         eprintln!("[fig2] training VGG* on {} ({} train samples)…", preset.name(), dataset.train.len());
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(row);
         json.insert(
             preset.name().to_string(),
-            serde_json::json!({
+            json!({
                 "accuracy_by_t": eval.accuracy_by_t,
                 "train_accuracy": report.final_accuracy(),
             }),
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["dataset", "T=1", "T=2", "T=3", "T=4"],
         &rows,
     );
-    let path = write_json("fig2_accuracy_vs_timestep", &serde_json::Value::Object(json))?;
+    let path = write_json("fig2_accuracy_vs_timestep", &json::Value::Object(json))?;
     println!("\nwrote {}", path.display());
     Ok(())
 }

@@ -7,16 +7,14 @@
 //! `table2_static_vs_dtsnn` first) and only recomputes from scratch — the
 //! full 16-model training campaign — when it does not.
 
-use dtsnn_bench::{
-    hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig,
-};
+use dtsnn_bench::{json, hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::ThresholdSweep;
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
 
 fn from_table2() -> Option<EdpRows> {
     let raw = std::fs::read_to_string("bench-results/table2_static_vs_dtsnn.json").ok()?;
-    let rows: serde_json::Value = serde_json::from_str(&raw).ok()?;
+    let rows: json::Value = json::from_str(&raw).ok()?;
     let mut out = Vec::new();
     for row in rows.as_array()? {
         out.push((
@@ -91,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{edp_ratio:.3}"),
             format!("{:.1}%", (1.0 - edp_ratio) * 100.0),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "arch": arch,
             "dataset": dataset,
             "edp_ratio": edp_ratio,
@@ -104,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
     println!("\npaper: 61.2%–80.9% EDP reduction");
-    let path = write_json("fig4_edp", &serde_json::Value::Array(json))?;
+    let path = write_json("fig4_edp", &json::Value::Array(json))?;
     println!("wrote {}", path.display());
     Ok(())
 }

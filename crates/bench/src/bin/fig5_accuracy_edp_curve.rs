@@ -5,9 +5,7 @@
 //! carries its timestep distribution (the paper's pie charts, here as
 //! percentage rows). DT-SNN should sit top-left of the static curve.
 
-use dtsnn_bench::{
-    hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig,
-};
+use dtsnn_bench::{json, hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::ThresholdSweep;
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
@@ -57,22 +55,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &["point", "acc", "avg T", "EDP (vs static T=1)", "T̂ dist (1/2/3/4)"],
                 &rows,
             );
-            json.push(serde_json::json!({
+            json.push(json!({
                 "arch": arch.name(),
                 "dataset": preset.name(),
-                "static": sweep.static_points.iter().map(|p| serde_json::json!({
-                    "label": p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
+                "static": sweep.static_points.iter().map(|p| json!({
+                    "label": &p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
                 })).collect::<Vec<_>>(),
-                "dynamic": sweep.dynamic_points.iter().map(|p| serde_json::json!({
-                    "label": p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
+                "dynamic": sweep.dynamic_points.iter().map(|p| json!({
+                    "label": &p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
                     "avg_timesteps": p.avg_timesteps,
-                    "distribution": p.timestep_distribution,
+                    "distribution": &p.timestep_distribution,
                 })).collect::<Vec<_>>(),
             }));
         }
     }
     println!("\npaper: DT-SNN sits top-left of the static curve; T̂=1 dominates the pies");
-    let path = write_json("fig5_accuracy_edp_curve", &serde_json::Value::Array(json))?;
+    let path = write_json("fig5_accuracy_edp_curve", &json::Value::Array(json))?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -8,7 +8,7 @@
 //! Panel B re-evaluates the static and DT-SNN models after pushing the
 //! trained weights through the 4-bit RRAM device model with σ/μ = 20%.
 
-use dtsnn_bench::{model_config_for, print_table, write_json, Arch, ExpConfig};
+use dtsnn_bench::{json, model_config_for, print_table, write_json, Arch, ExpConfig};
 use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy, StaticEvaluation};
 use dtsnn_data::Preset;
 use dtsnn_imc::{perturb_network, HardwareConfig};
@@ -58,14 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ours = train_variant(&dataset, Surrogate::Rectangular, LossKind::PerTimestep, t_max, &exp)?;
 
     let mut rows = Vec::new();
-    let mut json_a = serde_json::Map::new();
+    let mut json_a = json::Map::new();
     for (name, net) in [("tdBN", &mut tdbn), ("Dspike", &mut dspike), ("ours (static)", &mut ours)]
     {
         let eval = StaticEvaluation::run(net, &frames, &labels, t_max)?;
         let mut row = vec![name.to_string()];
         row.extend(eval.accuracy_by_t.iter().map(|a| format!("{:.2}%", a * 100.0)));
         rows.push(row);
-        json_a.insert(name.to_string(), serde_json::json!(eval.accuracy_by_t));
+        json_a.insert(name.to_string(), json!(eval.accuracy_by_t));
     }
     // DT-SNN row: ours + entropy exit
     let runner = DynamicInference::new(ExitPolicy::entropy(0.3)?, t_max)?;
@@ -101,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2}% @T=4", s_eval.full_window_accuracy() * 100.0),
             format!("{:.2}% @T̂={:.2}", d_eval.accuracy * 100.0, d_eval.avg_timesteps),
         ]);
-        json_b.push(serde_json::json!({
+        json_b.push(json!({
             "trial": trial,
             "static_noisy_accuracy": s_eval.full_window_accuracy(),
             "dtsnn_noisy_accuracy": d_eval.accuracy,
@@ -116,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npaper: DT-SNN maintains higher accuracy than static SNN under variation");
     let path = write_json(
         "fig6_prior_and_noise",
-        &serde_json::json!({"panel_a": json_a, "panel_b": json_b}),
+        &json!({"panel_a": json_a, "panel_b": json_b}),
     )?;
     println!("wrote {}", path.display());
     Ok(())

@@ -5,9 +5,7 @@
 //! 76.3% → 91.5% on CIFAR-10 VGG-16), which shifts the DT-SNN timestep
 //! distribution toward T̂ = 1 and cuts EDP.
 
-use dtsnn_bench::{
-    hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig,
-};
+use dtsnn_bench::{json, hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::ThresholdSweep;
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
@@ -53,19 +51,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &["point", "acc", "avg T", "EDP (vs Eq.9 static T=1)", "T̂ dist"],
             &rows,
         );
-        json.push(serde_json::json!({
+        json.push(json!({
             "loss": loss.name(),
-            "static": sweep.static_points.iter().map(|p| serde_json::json!({
-                "label": p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
+            "static": sweep.static_points.iter().map(|p| json!({
+                "label": &p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
             })).collect::<Vec<_>>(),
-            "dynamic": sweep.dynamic_points.iter().map(|p| serde_json::json!({
-                "label": p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
-                "avg_timesteps": p.avg_timesteps, "distribution": p.timestep_distribution,
+            "dynamic": sweep.dynamic_points.iter().map(|p| json!({
+                "label": &p.label, "accuracy": p.accuracy, "edp_norm": p.edp / base_edp,
+                "avg_timesteps": p.avg_timesteps, "distribution": &p.timestep_distribution,
             })).collect::<Vec<_>>(),
         }));
     }
     println!("\npaper: Eq. 10 lifts accuracy at every T (T=1: 76.3% → 91.5%) and shifts T̂ toward 1");
-    let path = write_json("fig7_loss_ablation", &serde_json::Value::Array(json))?;
+    let path = write_json("fig7_loss_ablation", &json::Value::Array(json))?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! ASCII renderings of both buckets and checks the mean synthesis-time
 //! difficulty is lower in the early-exit bucket.
 
-use dtsnn_bench::{train_model, write_json, Arch, ExpConfig};
+use dtsnn_bench::{json, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::{ascii_render, bucket_by_timesteps, DynamicEvaluation, DynamicInference, ExitPolicy};
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("label {}  difficulty {:.2}", labels[i], difficulties[i]);
         println!("{}", ascii_render(&dataset.test.samples[i].frames[0]));
     }
-    let json = serde_json::json!({
+    let json = json!({
         "histogram": eval.timestep_histogram,
         "mean_difficulty_t1": mean_difficulty(&buckets[0]),
         "mean_difficulty_tmax": mean_difficulty(&buckets[t_max - 1]),

@@ -7,9 +7,7 @@
 //! iso-accuracy point. Energy is normalized to the static SNN and computed
 //! from measured spike activity through the IMC cost model.
 
-use dtsnn_bench::{
-    hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig,
-};
+use dtsnn_bench::{json, hardware_profile_for, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::ThresholdSweep;
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
@@ -72,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.2}%", iso.accuracy * 100.0),
                 format!("{energy_ratio:.2}×"),
             ]);
-            json.push(serde_json::json!({
+            json.push(json!({
                 "arch": arch.name(),
                 "dataset": preset.name(),
                 "t_max": t_max,
@@ -82,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "dtsnn_theta": iso.theta,
                 "energy_ratio": energy_ratio,
                 "edp_ratio": edp_ratio,
-                "timestep_distribution": iso.timestep_distribution,
+                "timestep_distribution": &iso.timestep_distribution,
             }));
         }
     }
@@ -92,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
     println!("\npaper: DT-SNN reaches static accuracy at ~1.3–5.3 avg timesteps, 0.41–0.60× energy");
-    let path = write_json("table2_static_vs_dtsnn", &serde_json::Value::Array(json))?;
+    let path = write_json("table2_static_vs_dtsnn", &json::Value::Array(json))?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! drops roughly linearly with T, while DT-SNN recovers most of the
 //! 1-timestep throughput at full-window accuracy.
 
-use dtsnn_bench::{print_table, train_model, write_json, Arch, ExpConfig};
+use dtsnn_bench::{json, print_table, train_model, write_json, Arch, ExpConfig};
 use dtsnn_core::{measure_dynamic_throughput, measure_throughput, DynamicInference, ExitPolicy};
 use dtsnn_data::Preset;
 use dtsnn_snn::LossKind;
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.2}%", r.accuracy * 100.0),
                 format!("{:.1}", r.images_per_second),
             ]);
-            json.push(serde_json::json!({
+            json.push(json!({
                 "arch": arch.name(), "method": r.label,
                 "avg_timesteps": r.avg_timesteps, "accuracy": r.accuracy,
                 "images_per_second": r.images_per_second,
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.2}%", r.accuracy * 100.0),
                 format!("{:.1}", r.images_per_second),
             ]);
-            json.push(serde_json::json!({
+            json.push(json!({
                 "arch": arch.name(), "method": format!("DT-SNN θ={theta}"),
                 "avg_timesteps": r.avg_timesteps, "accuracy": r.accuracy,
                 "images_per_second": r.images_per_second,
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
     println!("\npaper: throughput falls with T; DT-SNN ≈ T=1 throughput at T=4 accuracy");
-    let path = write_json("table3_throughput", &serde_json::Value::Array(json))?;
+    let path = write_json("table3_throughput", &json::Value::Array(json))?;
     println!("wrote {}", path.display());
     Ok(())
 }

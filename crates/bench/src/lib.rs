@@ -1,5 +1,5 @@
 //! Shared experiment harness for the per-figure/table binaries in
-//! `src/bin/` and the Criterion micro-benches in `benches/`.
+//! `src/bin/` and the self-timed micro-benches in `benches/`.
 //!
 //! Every binary regenerates one table or figure of the paper; see
 //! `DESIGN.md` for the experiment index. Set `DTSNN_SCALE` (default 1) to
@@ -17,6 +17,8 @@ use dtsnn_snn::{
 };
 use dtsnn_tensor::TensorRng;
 use std::path::PathBuf;
+
+pub mod json;
 
 /// Backbone selector mirroring the paper's VGG-16 / ResNet-19 pairing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,6 +163,26 @@ pub fn hardware_profile_for(
     )
 }
 
+/// Times `f` with a short warmup and returns mean seconds per iteration.
+///
+/// The self-timed micro-benches in `benches/` use this instead of an
+/// external harness: warm up three calls, calibrate the iteration count so
+/// the measured window is ≈0.3 s, then report the mean.
+pub fn time_it<R>(mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let probe = std::time::Instant::now();
+    std::hint::black_box(f());
+    let once = probe.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.3 / once) as usize).clamp(5, 10_000);
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
 /// Prints an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -192,11 +214,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// # Errors
 ///
 /// Returns I/O errors from the filesystem.
-pub fn write_json(name: &str, value: &serde_json::Value) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from("bench-results");
+pub fn write_json(name: &str, value: &json::Value) -> std::io::Result<PathBuf> {
+    // anchor to the workspace root: binaries run from the repo root but
+    // bench executables run from the package directory
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    let dir = root.join("bench-results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    let mut text = json::to_string_pretty(value);
+    text.push('\n');
+    std::fs::write(&path, text)?;
     Ok(path)
 }
 

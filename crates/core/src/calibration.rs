@@ -6,7 +6,53 @@
 //! reliability diagram over entropy), plus the rank correlation between
 //! confidence and correctness.
 
+use crate::inference::DynamicInference;
 use crate::{CoreError, Result};
+use dtsnn_snn::Snn;
+use dtsnn_tensor::{parallel, Tensor};
+
+/// Runs the network over a dataset split and collects, per sample, the
+/// first-timestep exit score and whether the final prediction was correct —
+/// the `(score, correct)` pairs that [`reliability_bins`] and
+/// [`score_correctness_correlation`] consume.
+///
+/// Samples fan out across the [`parallel`] worker pool on cloned networks and
+/// results are merged in sample-index order, so the output is bitwise
+/// identical for any `DTSNN_THREADS` value.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadInput`] for empty or mismatched inputs.
+pub fn collect_exit_scores(
+    network: &mut Snn,
+    runner: &DynamicInference,
+    frames: &[Vec<Tensor>],
+    labels: &[usize],
+) -> Result<(Vec<f32>, Vec<bool>)> {
+    if frames.is_empty() || frames.len() != labels.len() {
+        return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
+    }
+    let indices: Vec<usize> = (0..frames.len()).collect();
+    let proto: &Snn = network;
+    let per_sample = parallel::map_chunks(&indices, |_, chunk| {
+        let mut net = proto.clone();
+        chunk
+            .iter()
+            .map(|&i| -> Result<(f32, bool)> {
+                let out = runner.run(&mut net, &frames[i])?;
+                Ok((out.scores[0], out.prediction == labels[i]))
+            })
+            .collect()
+    });
+    let mut scores = Vec::with_capacity(frames.len());
+    let mut corrects = Vec::with_capacity(frames.len());
+    for res in per_sample {
+        let (s, c) = res?;
+        scores.push(s);
+        corrects.push(c);
+    }
+    Ok((scores, corrects))
+}
 
 /// Accuracy within one confidence bin.
 #[derive(Debug, Clone, Copy, PartialEq)]

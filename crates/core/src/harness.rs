@@ -4,7 +4,7 @@
 use crate::inference::DynamicInference;
 use crate::{CoreError, Result};
 use dtsnn_snn::{Mode, Snn, SpikeActivity};
-use dtsnn_tensor::Tensor;
+use dtsnn_tensor::{parallel, Tensor};
 
 /// Per-sample record of a dynamic evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,18 +59,37 @@ impl DynamicEvaluation {
         }
         // discard any previously accumulated activity
         let _ = network.take_activity();
+        // Data-parallel fan-out: each worker evaluates a contiguous slice of
+        // samples on its own clone of the network and reports per-sample
+        // results, which are folded back in sample-index order. Per-sample
+        // evaluation is independent (state resets each sample) and the fold
+        // order is fixed, so the result is bitwise identical for any
+        // DTSNN_THREADS value.
+        let indices: Vec<usize> = (0..frames.len()).collect();
+        let proto: &Snn = network;
+        let per_sample = parallel::map_chunks(&indices, |_, chunk| {
+            let mut net = proto.clone();
+            chunk
+                .iter()
+                .map(|&i| -> Result<(usize, bool, Vec<f64>, usize)> {
+                    let outcome = runner.run(&mut net, &frames[i])?;
+                    let (sums, obs) = net.take_raw_activity();
+                    Ok((outcome.timesteps_used, outcome.prediction == labels[i], sums, obs))
+                })
+                .collect()
+        });
         let mut histogram = vec![0usize; runner.max_timesteps()];
         let mut samples = Vec::with_capacity(frames.len());
         let mut correct_total = 0usize;
         let mut timestep_total = 0usize;
-        for (i, (sample_frames, &label)) in frames.iter().zip(labels).enumerate() {
-            let outcome = runner.run(network, sample_frames)?;
-            let correct = outcome.prediction == label;
+        for (i, res) in per_sample.into_iter().enumerate() {
+            let (used, correct, sums, obs) = res?;
+            network.absorb_raw_activity(&sums, obs);
             correct_total += correct as usize;
-            timestep_total += outcome.timesteps_used;
-            histogram[outcome.timesteps_used - 1] += 1;
+            timestep_total += used;
+            histogram[used - 1] += 1;
             samples.push(DynamicSampleOutcome {
-                timesteps_used: outcome.timesteps_used,
+                timesteps_used: used,
                 correct,
                 difficulty: difficulties.map(|d| d[i]).unwrap_or(f32::NAN),
             });
@@ -136,20 +155,21 @@ impl DynamicEvaluation {
                     ));
                 }
             }
-            let mut batch_frames = Vec::with_capacity(t_frames);
-            for t in 0..t_frames {
-                let views: Vec<Tensor> = chunk
-                    .iter()
-                    .map(|&i| {
-                        let f = &frames[i][t];
-                        let mut d = vec![1];
-                        d.extend_from_slice(f.dims());
-                        f.reshape(&d).map_err(CoreError::from)
-                    })
-                    .collect::<Result<_>>()?;
-                let refs: Vec<&Tensor> = views.iter().collect();
-                batch_frames.push(Tensor::concat_axis0(&refs)?);
-            }
+            let batch_frames = (0..t_frames)
+                .map(|t| {
+                    let views: Vec<Tensor> = chunk
+                        .iter()
+                        .map(|&i| {
+                            let f = &frames[i][t];
+                            let mut d = vec![1];
+                            d.extend_from_slice(f.dims());
+                            f.reshape(&d).map_err(CoreError::from)
+                        })
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Tensor> = views.iter().collect();
+                    Tensor::concat_axis0(&refs).map_err(CoreError::from)
+                })
+                .collect::<Result<Vec<_>>>()?;
             let outputs = network.forward_sequence(&batch_frames, t_max, Mode::Eval)?;
             let classes = outputs[0].dims()[1];
             // per-sample running means → exit decision, offline
@@ -231,29 +251,49 @@ impl StaticEvaluation {
             return Err(CoreError::BadInput("max_timesteps must be nonzero".into()));
         }
         let _ = network.take_activity();
-        let mut correct_by_t = vec![0usize; max_timesteps];
-        for (sample_frames, &label) in frames.iter().zip(labels) {
-            let batched: Vec<Tensor> = sample_frames
+        // Per-sample data-parallel fan-out; see DynamicEvaluation::run for
+        // the determinism argument.
+        let indices: Vec<usize> = (0..frames.len()).collect();
+        let proto: &Snn = network;
+        let per_sample = parallel::map_chunks(&indices, |_, chunk| {
+            let mut net = proto.clone();
+            chunk
                 .iter()
-                .map(|f| {
-                    if f.dims().len() == 4 {
-                        Ok(f.clone())
-                    } else {
-                        let mut dims = vec![1];
-                        dims.extend_from_slice(f.dims());
-                        f.reshape(&dims).map_err(CoreError::from)
+                .map(|&i| -> Result<(Vec<bool>, Vec<f64>, usize)> {
+                    let batched: Vec<Tensor> = frames[i]
+                        .iter()
+                        .map(|f| {
+                            if f.dims().len() == 4 {
+                                Ok(f.clone())
+                            } else {
+                                let mut dims = vec![1];
+                                dims.extend_from_slice(f.dims());
+                                f.reshape(&dims).map_err(CoreError::from)
+                            }
+                        })
+                        .collect::<Result<_>>()?;
+                    let outputs = net.forward_sequence(&batched, max_timesteps, Mode::Eval)?;
+                    let mut acc: Option<Tensor> = None;
+                    let mut correct_at_t = Vec::with_capacity(max_timesteps);
+                    for out in &outputs {
+                        match &mut acc {
+                            Some(a) => a.axpy(1.0, out)?,
+                            None => acc = Some(out.clone()),
+                        }
+                        let pred = acc.as_ref().expect("set above").row(0)?.argmax()?;
+                        correct_at_t.push(pred == labels[i]);
                     }
+                    let (sums, obs) = net.take_raw_activity();
+                    Ok((correct_at_t, sums, obs))
                 })
-                .collect::<Result<_>>()?;
-            let outputs = network.forward_sequence(&batched, max_timesteps, Mode::Eval)?;
-            let mut acc: Option<Tensor> = None;
-            for (t, out) in outputs.iter().enumerate() {
-                match &mut acc {
-                    Some(a) => a.axpy(1.0, out)?,
-                    None => acc = Some(out.clone()),
-                }
-                let pred = acc.as_ref().expect("set above").row(0)?.argmax()?;
-                correct_by_t[t] += (pred == label) as usize;
+                .collect()
+        });
+        let mut correct_by_t = vec![0usize; max_timesteps];
+        for res in per_sample {
+            let (correct_at_t, sums, obs) = res?;
+            network.absorb_raw_activity(&sums, obs);
+            for (t, &c) in correct_at_t.iter().enumerate() {
+                correct_by_t[t] += c as usize;
             }
         }
         let n = frames.len() as f32;
@@ -377,6 +417,28 @@ mod tests {
         );
         assert!(DynamicEvaluation::run_batched(&mut net, &runner, &frames, &labels[..2], None, 2)
             .is_err());
+    }
+
+    #[test]
+    fn evaluation_is_thread_count_invariant() {
+        let (frames, labels) = tiny_data(17, 31); // ragged across worker chunks
+        // real difficulty values: NaN would defeat the PartialEq comparison
+        let diffs: Vec<f32> = (0..17).map(|i| i as f32 / 17.0).collect();
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.6).unwrap(), 4).unwrap();
+        let run_both = || {
+            let mut net = tiny_net(32);
+            let d =
+                DynamicEvaluation::run(&mut net, &runner, &frames, &labels, Some(&diffs)).unwrap();
+            let mut net = tiny_net(32);
+            let s = StaticEvaluation::run(&mut net, &frames, &labels, 4).unwrap();
+            (d, s)
+        };
+        let serial = dtsnn_tensor::parallel::with_threads(1, run_both);
+        for threads in [2, 4, 8] {
+            let par = dtsnn_tensor::parallel::with_threads(threads, run_both);
+            assert_eq!(serial.0, par.0, "dynamic eval diverged at {threads} threads");
+            assert_eq!(serial.1, par.1, "static eval diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -40,7 +40,9 @@ mod sweep;
 mod throughput;
 mod visualize;
 
-pub use calibration::{reliability_bins, score_correctness_correlation, ReliabilityBin};
+pub use calibration::{
+    collect_exit_scores, reliability_bins, score_correctness_correlation, ReliabilityBin,
+};
 pub use energy_link::{densities_from_activity, HardwareProfile};
 pub use error::CoreError;
 pub use harness::{DynamicEvaluation, DynamicSampleOutcome, StaticEvaluation};

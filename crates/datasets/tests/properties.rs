@@ -1,21 +1,28 @@
 //! Property-based tests of the synthetic data generators: determinism,
 //! value ranges, balance and difficulty semantics under arbitrary valid
 //! configurations.
+//!
+//! Cases come from a seeded [`TensorRng`] (24 per property, matching the
+//! previous proptest configuration) so failures reproduce from the case index
+//! alone and the suite needs no external crates.
 
 use dtsnn_data::{EventConfig, SyntheticEvents, SyntheticVision, VisionConfig};
-use proptest::prelude::*;
+use dtsnn_tensor::TensorRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn vision_generator_respects_contract(
-        classes in 2usize..6,
-        exponent in 0.5f32..4.0,
-        noise in 0.0f32..0.8,
-        similarity in 0.0f32..0.9,
-        seed in 0u64..500,
-    ) {
+fn case_rng(case: u64) -> TensorRng {
+    TensorRng::seed_from(0xDA7A ^ case.wrapping_mul(0x9E37_79B9))
+}
+
+#[test]
+fn vision_generator_respects_contract() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let classes = 2 + params.below(4);
+        let exponent = params.uniform(0.5, 4.0);
+        let noise = params.uniform(0.0, 0.8);
+        let similarity = params.uniform(0.0, 0.9);
         let cfg = VisionConfig {
             classes,
             train_size: classes * 4,
@@ -26,24 +33,26 @@ proptest! {
             prototype_similarity: similarity,
             ..VisionConfig::default()
         };
-        let ds = SyntheticVision::generate(&cfg, seed).unwrap();
-        prop_assert_eq!(ds.train.len(), classes * 4);
-        prop_assert_eq!(ds.test.len(), classes * 2);
+        let ds = SyntheticVision::generate(&cfg, case).unwrap();
+        assert_eq!(ds.train.len(), classes * 4, "case {case}");
+        assert_eq!(ds.test.len(), classes * 2, "case {case}");
         // balanced classes
         let hist = ds.test_class_histogram();
         for &h in &hist {
-            prop_assert_eq!(h, 2);
+            assert_eq!(h, 2, "case {case}");
         }
         // pixel range and difficulty range
         for s in ds.train.samples.iter().chain(&ds.test.samples) {
-            prop_assert!((0.0..=1.0).contains(&s.difficulty));
-            prop_assert!(s.frames[0].min() >= 0.0 && s.frames[0].max() <= 1.0);
-            prop_assert!(s.label < classes);
+            assert!((0.0..=1.0).contains(&s.difficulty), "case {case}");
+            assert!(s.frames[0].min() >= 0.0 && s.frames[0].max() <= 1.0, "case {case}");
+            assert!(s.label < classes, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn vision_generator_is_deterministic(seed in 0u64..500) {
+#[test]
+fn vision_generator_is_deterministic() {
+    for case in 0..CASES {
         let cfg = VisionConfig {
             classes: 3,
             train_size: 6,
@@ -51,18 +60,19 @@ proptest! {
             image_size: 8,
             ..VisionConfig::default()
         };
-        let a = SyntheticVision::generate(&cfg, seed).unwrap();
-        let b = SyntheticVision::generate(&cfg, seed).unwrap();
-        prop_assert_eq!(a, b);
+        let a = SyntheticVision::generate(&cfg, case).unwrap();
+        let b = SyntheticVision::generate(&cfg, case).unwrap();
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn event_generator_respects_contract(
-        classes in 2usize..5,
-        timesteps in 2usize..8,
-        noise in 0.0f32..0.3,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn event_generator_respects_contract() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let classes = 2 + params.below(3);
+        let timesteps = 2 + params.below(6);
+        let noise = params.uniform(0.0, 0.3);
         let cfg = EventConfig {
             classes,
             timesteps,
@@ -72,19 +82,21 @@ proptest! {
             max_noise_rate: noise,
             ..EventConfig::default()
         };
-        let ds = SyntheticEvents::generate(&cfg, seed).unwrap();
-        prop_assert_eq!(ds.frames_per_sample, timesteps);
+        let ds = SyntheticEvents::generate(&cfg, case).unwrap();
+        assert_eq!(ds.frames_per_sample, timesteps, "case {case}");
         for s in &ds.test.samples {
-            prop_assert_eq!(s.frames.len(), timesteps);
+            assert_eq!(s.frames.len(), timesteps, "case {case}");
             for f in &s.frames {
-                prop_assert_eq!(f.dims(), &[2usize, 8, 8]);
-                prop_assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0));
+                assert_eq!(f.dims(), &[2usize, 8, 8], "case {case}");
+                assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn higher_exponent_means_easier_corpus(seed in 0u64..200) {
+#[test]
+fn higher_exponent_means_easier_corpus() {
+    for case in 0..CASES {
         // larger difficulty exponent → lower mean difficulty
         let base = VisionConfig {
             classes: 3,
@@ -95,9 +107,12 @@ proptest! {
         };
         let easy_cfg = VisionConfig { difficulty_exponent: 4.0, ..base };
         let hard_cfg = VisionConfig { difficulty_exponent: 0.7, ..base };
-        let easy = SyntheticVision::generate(&easy_cfg, seed).unwrap();
-        let hard = SyntheticVision::generate(&hard_cfg, seed).unwrap();
+        let easy = SyntheticVision::generate(&easy_cfg, case).unwrap();
+        let hard = SyntheticVision::generate(&hard_cfg, case).unwrap();
         let mean = |d: Vec<f32>| d.iter().sum::<f32>() / d.len() as f32;
-        prop_assert!(mean(easy.train.difficulties()) < mean(hard.train.difficulties()));
+        assert!(
+            mean(easy.train.difficulties()) < mean(hard.train.difficulties()),
+            "case {case}"
+        );
     }
 }

@@ -9,11 +9,10 @@
 
 use crate::mapping::ChipMapping;
 use crate::{HardwareConfig, Result};
-use serde::{Deserialize, Serialize};
 
 /// Per-unit area constants, in µm² (32 nm-class estimates; calibration
 /// parameters of the analytical model, like [`crate::EnergyConstants`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaConstants {
     /// One RRAM cell (4F² at F = 32 nm plus access overhead), µm².
     pub cell: f64,
@@ -52,7 +51,7 @@ impl Default for AreaConstants {
 }
 
 /// Area split of a mapped network, µm².
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaReport {
     /// Crossbar arrays.
     pub crossbars: f64,

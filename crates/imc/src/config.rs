@@ -2,14 +2,13 @@
 //! energy/latency constants.
 
 use crate::{ImcError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Per-event dynamic energy constants, in picojoules.
 ///
 /// Absolute values are calibration parameters of the analytical model; their
 /// *ratios* are chosen so the VGG-16/CIFAR-10 mapping reproduces the
 /// component breakdown of Fig. 1(A). See `crates/imc/src/energy.rs` tests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyConstants {
     /// One RRAM cell read (per active row × column × slice), pJ.
     pub cell_read: f64,
@@ -65,7 +64,7 @@ impl Default for EnergyConstants {
 }
 
 /// Per-operation latency constants, in clock cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyConstants {
     /// Cycles for one crossbar read (all rows in parallel).
     pub crossbar_read: u64,
@@ -95,7 +94,7 @@ impl Default for LatencyConstants {
 }
 
 /// The hardware parameters of Table I plus the calibrated cost constants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareConfig {
     /// Crossbar rows = columns (Table I: 64).
     pub crossbar_size: usize,
@@ -247,9 +246,4 @@ mod tests {
         assert!(c.validate().is_err());
     }
 
-    #[test]
-    fn config_is_serializable() {
-        fn assert_serialize<T: serde::Serialize>(_: &T) {}
-        assert_serialize(&HardwareConfig::default());
-    }
 }

@@ -9,10 +9,9 @@
 
 use crate::mapping::ChipMapping;
 use crate::{HardwareConfig, ImcError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Chip components tracked by the energy breakdown (Fig. 1(A)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// RRAM crossbar arrays (analog MAC).
     Crossbar,
@@ -70,7 +69,7 @@ impl Component {
 }
 
 /// Energy split across chip components, in picojoules.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnergyBreakdown {
     per_component: [f64; 9],
 }
@@ -124,7 +123,7 @@ impl EnergyBreakdown {
 }
 
 /// Full cost of one inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceCost {
     /// Energy by component, pJ.
     pub energy: EnergyBreakdown,

@@ -10,10 +10,9 @@
 
 use crate::{HardwareConfig, ImcError, Result};
 use dtsnn_snn::LayerGeometry;
-use serde::{Deserialize, Serialize};
 
 /// One layer's placement on the chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MappedLayer {
     /// Unrolled weight-matrix rows (fan-in / crossbar wordlines).
     pub rows: usize,
@@ -38,7 +37,7 @@ pub struct MappedLayer {
 }
 
 /// A whole network mapped onto the chip.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipMapping {
     layers: Vec<MappedLayer>,
     crossbar_size: usize,

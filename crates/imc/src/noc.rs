@@ -11,10 +11,9 @@
 
 use crate::mapping::ChipMapping;
 use crate::{HardwareConfig, ImcError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Traffic of one layer-to-layer link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkTraffic {
     /// Producing layer index.
     pub from_layer: usize,

@@ -13,10 +13,9 @@
 
 use crate::energy::{Component, CostModel, InferenceCost};
 use crate::{ImcError, Result};
-use serde::{Deserialize, Serialize};
 
 /// How timesteps are scheduled onto the tiled datapath.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TimestepSchedule {
     /// One timestep fully traverses the network before the next starts —
     /// the paper's DT-SNN design point (no flush cost on exit).

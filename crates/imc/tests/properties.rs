@@ -1,5 +1,9 @@
 //! Property-based tests of the hardware model: mapping arithmetic, cost
 //! additivity, device-model bounds.
+//!
+//! Cases come from a seeded [`TensorRng`] (48 per property, matching the
+//! previous proptest configuration) so failures reproduce from the case index
+//! alone and the suite needs no external crates.
 
 use dtsnn_imc::{
     exact_normalized_entropy, quantize_dequantize, ChipMapping, CostModel, DeviceNoise,
@@ -7,7 +11,12 @@ use dtsnn_imc::{
 };
 use dtsnn_snn::LayerGeometry;
 use dtsnn_tensor::TensorRng;
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
+
+fn case_rng(case: u64) -> TensorRng {
+    TensorRng::seed_from(0x1AC ^ case.wrapping_mul(0x9E37_79B9))
+}
 
 fn conv_geometry(cin: usize, cout: usize, k: usize, hw: usize) -> LayerGeometry {
     LayerGeometry::Conv {
@@ -21,43 +30,46 @@ fn conv_geometry(cin: usize, cout: usize, k: usize, hw: usize) -> LayerGeometry 
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn mapping_covers_all_weights(
-        cin in 1usize..64,
-        cout in 1usize..128,
-        k in prop::sample::select(vec![1usize, 3, 5]),
-        hw in 4usize..16,
-    ) {
+#[test]
+fn mapping_covers_all_weights() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let cin = 1 + params.below(63);
+        let cout = 1 + params.below(127);
+        let k = [1usize, 3, 5][params.below(3)];
+        let hw = 4 + params.below(12);
         let config = HardwareConfig::default();
         let g = [conv_geometry(cin, cout, k, hw)];
         let m = ChipMapping::map(&g, &config).unwrap();
         let layer = &m.layers()[0];
         // every physical column/row is covered by the allocated crossbars
-        prop_assert!(layer.row_segments * config.crossbar_size >= layer.rows);
-        prop_assert!(layer.col_segments * config.crossbar_size >= layer.physical_cols);
-        prop_assert_eq!(layer.crossbars, layer.row_segments * layer.col_segments);
-        prop_assert!(layer.tiles * config.crossbars_per_tile >= layer.crossbars);
+        assert!(layer.row_segments * config.crossbar_size >= layer.rows, "case {case}");
+        assert!(layer.col_segments * config.crossbar_size >= layer.physical_cols, "case {case}");
+        assert_eq!(layer.crossbars, layer.row_segments * layer.col_segments, "case {case}");
+        assert!(layer.tiles * config.crossbars_per_tile >= layer.crossbars, "case {case}");
         let u = m.utilization();
-        prop_assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        assert!(u > 0.0 && u <= 1.0, "case {case}: utilization {u}");
     }
+}
 
-    #[test]
-    fn energy_is_additive_over_layers(
-        cout1 in 2usize..32,
-        cout2 in 2usize..32,
-        density in 0.05f32..0.9,
-    ) {
+#[test]
+fn energy_is_additive_over_layers() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let cout1 = 2 + params.below(30);
+        let cout2 = 2 + params.below(30);
+        let density = params.uniform(0.05, 0.9);
         // the cost of a two-layer network equals the sum of the single-layer
         // costs at the same densities
         let config = HardwareConfig::default();
         let g1 = conv_geometry(3, cout1, 3, 8);
         let g2 = conv_geometry(cout1, cout2, 3, 8);
-        let both = CostModel::new(ChipMapping::map(&[g1, g2], &config).unwrap(), config.clone()).unwrap();
-        let only1 = CostModel::new(ChipMapping::map(&[g1], &config).unwrap(), config.clone()).unwrap();
-        let only2 = CostModel::new(ChipMapping::map(&[g2], &config).unwrap(), config.clone()).unwrap();
+        let both =
+            CostModel::new(ChipMapping::map(&[g1, g2], &config).unwrap(), config.clone()).unwrap();
+        let only1 =
+            CostModel::new(ChipMapping::map(&[g1], &config).unwrap(), config.clone()).unwrap();
+        let only2 =
+            CostModel::new(ChipMapping::map(&[g2], &config).unwrap(), config.clone()).unwrap();
         let e_both = both.timestep_energy(&[1.0, density]).unwrap().total();
         let e_sum = only1.timestep_energy(&[1.0]).unwrap().total()
             + only2.timestep_energy(&[density]).unwrap().total();
@@ -66,22 +78,24 @@ proptest! {
         // for its (now non-final) first layer
         let lif_extra = both.mapping().layers()[0].output_neurons as f64
             * both.config().energy.lif_update;
-        prop_assert!(
+        assert!(
             (e_both - (e_sum + lif_extra)).abs() < 1e-6 * e_sum.max(1.0),
-            "both {e_both} vs sum {e_sum} + lif {lif_extra}"
+            "case {case}: both {e_both} vs sum {e_sum} + lif {lif_extra}"
         );
     }
+}
 
-    #[test]
-    fn latency_additive_and_pipeline_bounded(
-        cout1 in 2usize..32,
-        cout2 in 2usize..32,
-    ) {
+#[test]
+fn latency_additive_and_pipeline_bounded() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let cout1 = 2 + params.below(30);
+        let cout2 = 2 + params.below(30);
         let config = HardwareConfig::default();
         let g = [conv_geometry(3, cout1, 3, 8), conv_geometry(cout1, cout2, 3, 8)];
         let model = CostModel::new(ChipMapping::map(&g, &config).unwrap(), config).unwrap();
         // the bottleneck stage can never exceed the full traversal
-        prop_assert!(model.bottleneck_stage_cycles() <= model.timestep_latency());
+        assert!(model.bottleneck_stage_cycles() <= model.timestep_latency(), "case {case}");
         // pipelined static latency never exceeds sequential
         let d = [1.0f32, 0.3];
         let seq = model
@@ -90,62 +104,73 @@ proptest! {
         let pipe = model
             .inference_cost_scheduled(&d, 4.0, 4, None, TimestepSchedule::Pipelined)
             .unwrap();
-        prop_assert!(pipe.latency_cycles <= seq.latency_cycles);
+        assert!(pipe.latency_cycles <= seq.latency_cycles, "case {case}");
     }
+}
 
-    #[test]
-    fn device_read_error_is_bounded(
-        w in -1.0f32..1.0,
-        sigma in 0.0f64..0.3,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn device_read_error_is_bounded() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let w = params.uniform(-1.0, 1.0);
+        let sigma = params.uniform(0.0, 0.3) as f64;
         let config = HardwareConfig { sigma_over_mu: sigma, ..HardwareConfig::default() };
         let model = DeviceNoise::new(&config).unwrap();
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(case);
         let read = model.read_weight(w, 1.0, &mut rng);
-        prop_assert!(read.is_finite());
+        assert!(read.is_finite(), "case {case}");
         // reads stay within a generous envelope of the true value
-        prop_assert!((read - w).abs() < 1.0 + 4.0 * sigma as f32, "w={w} read={read}");
+        assert!((read - w).abs() < 1.0 + 4.0 * sigma as f32, "case {case}: w={w} read={read}");
     }
+}
 
-    #[test]
-    fn quantization_error_bounded_by_one_lsb(w in -1.0f32..1.0, bits in 2u32..10) {
+#[test]
+fn quantization_error_bounded_by_one_lsb() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let w = params.uniform(-1.0, 1.0);
+        let bits = 2 + params.below(8) as u32;
         let q = quantize_dequantize(w, 1.0, bits);
         let lsb = 1.0 / (1i64 << (bits - 1)) as f32;
         // half an LSB inside the representable range; up to one LSB at the
         // positive rail, where the signed code clamps at scale − LSB
         let bound = if w > 1.0 - lsb { lsb } else { 0.5 * lsb };
-        prop_assert!((q - w).abs() <= bound + 1e-6, "w={w} q={q} lsb={lsb}");
+        assert!((q - w).abs() <= bound + 1e-6, "case {case}: w={w} q={q} lsb={lsb}");
     }
+}
 
-    #[test]
-    fn sigma_e_entropy_in_unit_interval(
-        logits in proptest::collection::vec(-8.0f32..8.0, 4..16),
-        theta in 0.05f32..0.95,
-    ) {
+#[test]
+fn sigma_e_entropy_in_unit_interval() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let len = 4 + params.below(12);
+        let logits: Vec<f32> = (0..len).map(|_| params.uniform(-8.0, 8.0)).collect();
+        let theta = params.uniform(0.05, 0.95);
         let module = SigmaEModule::new(&HardwareConfig::default()).unwrap();
         let r = module.evaluate(&logits, theta).unwrap();
-        prop_assert!((0.0..=1.0).contains(&r.entropy));
+        assert!((0.0..=1.0).contains(&r.entropy), "case {case}");
         let s: f32 = r.probabilities.iter().sum();
-        prop_assert!((s - 1.0).abs() < 1e-3);
+        assert!((s - 1.0).abs() < 1e-3, "case {case}");
         // exit decision is consistent with the reported entropy
-        prop_assert_eq!(r.exit, r.entropy < theta);
+        assert_eq!(r.exit, r.entropy < theta, "case {case}");
         // LUT entropy close to exact entropy of the LUT's own distribution
         let exact = exact_normalized_entropy(&r.probabilities);
-        prop_assert!((r.entropy - exact).abs() < 0.05);
+        assert!((r.entropy - exact).abs() < 0.05, "case {case}");
     }
+}
 
-    #[test]
-    fn noc_energy_scales_linearly(
-        cout in 4usize..64,
-        d1 in 0.05f32..0.45,
-    ) {
+#[test]
+fn noc_energy_scales_linearly() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let cout = 4 + params.below(60);
+        let d1 = params.uniform(0.05, 0.45);
         let config = HardwareConfig::default();
         let g = [conv_geometry(3, cout, 3, 8), conv_geometry(cout, cout, 3, 8)];
         let mapping = ChipMapping::map(&g, &config).unwrap();
         let noc = NocModel::new(&mapping, &config).unwrap();
         let e1 = noc.timestep_energy(&[d1, d1]).unwrap();
         let e2 = noc.timestep_energy(&[2.0 * d1, 2.0 * d1]).unwrap();
-        prop_assert!((e2 / e1 - 2.0).abs() < 1e-6);
+        assert!((e2 / e1 - 2.0).abs() < 1e-6, "case {case}");
     }
 }

@@ -51,7 +51,11 @@ impl Param {
 ///   pops the matching cache and accumulates parameter gradients.
 /// - `reset_state` clears membrane potentials **and** caches; call it before
 ///   every new input sequence.
-pub trait Layer {
+///
+/// `Send + Sync` is a supertrait bound so the data-parallel evaluation
+/// workers in `dtsnn-core` can clone a shared prototype network onto scoped
+/// threads. No layer uses interior mutability, so the bound is free.
+pub trait Layer: Send + Sync {
     /// Processes one timestep of input.
     ///
     /// # Errors

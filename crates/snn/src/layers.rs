@@ -801,7 +801,10 @@ mod tests {
             bn.forward(&x, Mode::Train).unwrap();
             bn.reset_state();
         }
-        let x = Tensor::randn(&[4, 1, 2, 2], 3.0, 1.0, &mut r);
+        // A larger probe batch keeps the train-mode EMA update small, so the
+        // residual Eval/Train gap is dominated by the momentum (0.1) times the
+        // batch-statistic sampling error rather than by the stream draw.
+        let x = Tensor::randn(&[16, 1, 2, 2], 3.0, 1.0, &mut r);
         let ye = bn.forward(&x, Mode::Eval).unwrap();
         bn.reset_state();
         let yt = bn.forward(&x, Mode::Train).unwrap();

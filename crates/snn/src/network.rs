@@ -199,6 +199,31 @@ impl Snn {
         Ok(outputs)
     }
 
+    /// Returns and resets the raw spike-activity accumulators: per-layer
+    /// density sums plus the timestep-observation count.
+    ///
+    /// The data-parallel harnesses in `dtsnn-core` call this once per sample
+    /// on cloned networks and fold the raw sums back in sample-index order
+    /// (via [`Snn::absorb_raw_activity`]); because every sample's sums start
+    /// from zero, the folded totals are bitwise identical for any worker
+    /// count.
+    pub fn take_raw_activity(&mut self) -> (Vec<f64>, usize) {
+        let n = self.density_sums.len();
+        let sums = std::mem::replace(&mut self.density_sums, vec![0.0; n]);
+        let obs = std::mem::take(&mut self.density_obs);
+        (sums, obs)
+    }
+
+    /// Folds raw activity (from [`Snn::take_raw_activity`] on a clone) into
+    /// this network's accumulators.
+    pub fn absorb_raw_activity(&mut self, sums: &[f64], obs: usize) {
+        debug_assert_eq!(sums.len(), self.density_sums.len());
+        for (acc, &s) in self.density_sums.iter_mut().zip(sums) {
+            *acc += s;
+        }
+        self.density_obs += obs;
+    }
+
     /// Returns and resets the accumulated spike-activity statistics.
     pub fn take_activity(&mut self) -> SpikeActivity {
         let obs = self.density_obs.max(1);
@@ -261,6 +286,29 @@ mod tests {
         // taking resets
         let act2 = net.take_activity();
         assert_eq!(act2.observations, 0);
+    }
+
+    #[test]
+    fn raw_activity_roundtrips_through_absorb() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::full(&[1, 2, 2, 2], 5.0);
+
+        // direct accumulation over two samples
+        let mut direct = net.clone();
+        direct.forward_sequence(&[x.clone()], 3, Mode::Eval).unwrap();
+        direct.forward_sequence(&[x.clone()], 2, Mode::Eval).unwrap();
+        let expect = direct.take_activity();
+
+        // per-sample take + absorb in sample order must match exactly
+        let mut worker = net.clone();
+        worker.forward_sequence(&[x.clone()], 3, Mode::Eval).unwrap();
+        let (s0, o0) = worker.take_raw_activity();
+        worker.forward_sequence(&[x], 2, Mode::Eval).unwrap();
+        let (s1, o1) = worker.take_raw_activity();
+        net.absorb_raw_activity(&s0, o0);
+        net.absorb_raw_activity(&s1, o1);
+        assert_eq!(net.take_activity(), expect);
     }
 
     #[test]

@@ -1,23 +1,30 @@
 //! Property-based tests of the SNN stack: LIF dynamics under arbitrary
 //! configurations, loss-gradient identities, and BPTT cache discipline.
+//!
+//! Cases are generated from a seeded [`TensorRng`] (48 per property, matching
+//! the previous proptest configuration) so failures reproduce from the case
+//! index alone and the suite needs no external crates.
 
 use dtsnn_snn::{
     cross_entropy_mean_output, cross_entropy_per_timestep, Flatten, Layer, LifConfig, LifNeuron,
     Linear, Mode, ResetMode, Snn, Surrogate,
 };
 use dtsnn_tensor::{Tensor, TensorRng};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn lif_spike_count_monotone_in_input(
-        tau in 0.1f32..1.0,
-        v_th in 0.2f32..2.0,
-        base in 0.0f32..1.0,
-        boost in 0.1f32..2.0,
-    ) {
+fn case_rng(case: u64) -> TensorRng {
+    TensorRng::seed_from(0x5EED ^ case.wrapping_mul(0x9E37_79B9))
+}
+
+#[test]
+fn lif_spike_count_monotone_in_input() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let tau = params.uniform(0.1, 1.0);
+        let v_th = params.uniform(0.2, 2.0);
+        let base = params.uniform(0.0, 1.0);
+        let boost = params.uniform(0.1, 2.0);
         // stronger input current never produces fewer spikes over a window
         let cfg = LifConfig { tau, v_th, ..LifConfig::default() };
         let count = |level: f32| -> f32 {
@@ -29,16 +36,18 @@ proptest! {
             }
             total
         };
-        prop_assert!(count(base + boost) >= count(base));
+        assert!(count(base + boost) >= count(base), "case {case}");
     }
+}
 
-    #[test]
-    fn lif_membrane_never_exceeds_threshold_after_reset(
-        tau in 0.1f32..1.0,
-        v_th in 0.2f32..2.0,
-        inputs in proptest::collection::vec(-1.5f32..1.5, 6),
-        soft in proptest::bool::ANY,
-    ) {
+#[test]
+fn lif_membrane_never_exceeds_threshold_after_reset() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let tau = params.uniform(0.1, 1.0);
+        let v_th = params.uniform(0.2, 2.0);
+        let inputs: Vec<f32> = (0..6).map(|_| params.uniform(-1.5, 1.5)).collect();
+        let soft = params.bernoulli(0.5);
         let reset = if soft { ResetMode::Subtract } else { ResetMode::Zero };
         let mut lif = LifNeuron::new(LifConfig { tau, v_th, reset, ..LifConfig::default() });
         let mut prev: Option<f32> = None;
@@ -49,25 +58,33 @@ proptest! {
             let spiked = s.data()[0] == 1.0;
             match reset {
                 // hard reset zeroes any crossing: post-reset u ≤ v_th always
-                ResetMode::Zero => prop_assert!(u <= v_th + 1e-5, "u={u}"),
+                ResetMode::Zero => assert!(u <= v_th + 1e-5, "case {case}: u={u}"),
                 // soft reset subtracts exactly one threshold per spike, so
                 // u_post = u_pre − v_th on spikes; u can stay above v_th for
                 // strong inputs, but never exceeds the pre-reset potential
                 ResetMode::Subtract => {
                     let u_pre = prev.map(|p| tau * p).unwrap_or(0.0) + v;
                     if spiked {
-                        prop_assert!((u - (u_pre - v_th)).abs() < 1e-5, "u={u} u_pre={u_pre}");
+                        assert!(
+                            (u - (u_pre - v_th)).abs() < 1e-5,
+                            "case {case}: u={u} u_pre={u_pre}"
+                        );
                     } else {
-                        prop_assert!((u - u_pre).abs() < 1e-5);
+                        assert!((u - u_pre).abs() < 1e-5, "case {case}");
                     }
                 }
             }
             prev = Some(u);
         }
     }
+}
 
-    #[test]
-    fn lif_backward_cache_discipline(t in 1usize..6, extra in 1usize..3) {
+#[test]
+fn lif_backward_cache_discipline() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let t = 1 + params.below(5);
+        let extra = 1 + params.below(2);
         // exactly t backwards succeed after t forwards; the (t+1)-th fails
         let mut lif = LifNeuron::new(LifConfig::default());
         let x = Tensor::full(&[1, 2], 0.7);
@@ -76,21 +93,22 @@ proptest! {
         }
         let g = Tensor::ones(&[1, 2]);
         for _ in 0..t {
-            prop_assert!(lif.backward(&g).is_ok());
+            assert!(lif.backward(&g).is_ok(), "case {case}");
         }
         for _ in 0..extra {
-            prop_assert!(lif.backward(&g).is_err());
+            assert!(lif.backward(&g).is_err(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ce_gradients_sum_to_zero_per_row(
-        seed in 0u64..1000,
-        t in 1usize..4,
-        b in 1usize..4,
-    ) {
+#[test]
+fn ce_gradients_sum_to_zero_per_row() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let t = 1 + params.below(3);
+        let b = 1 + params.below(3);
         // softmax-CE gradient rows always sum to zero (probabilities − onehot)
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(case);
         let k = 5;
         let outputs: Vec<Tensor> =
             (0..t).map(|_| Tensor::randn(&[b, k], 0.0, 2.0, &mut rng)).collect();
@@ -102,18 +120,20 @@ proptest! {
             for g in grads {
                 for row in 0..b {
                     let s: f32 = g.data()[row * k..(row + 1) * k].iter().sum();
-                    prop_assert!(s.abs() < 1e-5, "row sum {s}");
+                    assert!(s.abs() < 1e-5, "case {case}: row sum {s}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn surrogate_families_bounded(
-        u in -5.0f32..5.0,
-        v_th in 0.2f32..2.0,
-        which in 0usize..5,
-    ) {
+#[test]
+fn surrogate_families_bounded() {
+    for case in 0..CASES {
+        let mut params = case_rng(case);
+        let u = params.uniform(-5.0, 5.0);
+        let v_th = params.uniform(0.2, 2.0);
+        let which = params.below(5);
         let s = match which {
             0 => Surrogate::Rectangular,
             1 => Surrogate::Triangle { gamma: 0.5 },
@@ -122,14 +142,16 @@ proptest! {
             _ => Surrogate::Atan { alpha: 2.0 },
         };
         let g = s.grad(u, v_th);
-        prop_assert!(g.is_finite());
-        prop_assert!(g >= 0.0);
-        prop_assert!(g <= 5.0, "surrogate blew up: {g}");
+        assert!(g.is_finite(), "case {case}");
+        assert!(g >= 0.0, "case {case}");
+        assert!(g <= 5.0, "case {case}: surrogate blew up: {g}");
     }
+}
 
-    #[test]
-    fn network_eval_is_deterministic_and_stateless_across_resets(seed in 0u64..500) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn network_eval_is_deterministic_and_stateless_across_resets() {
+    for case in 0..CASES {
+        let mut rng = TensorRng::seed_from(case);
         let mut net = Snn::from_layers(vec![
             Box::new(Flatten::new()),
             Box::new(Linear::new(8, 6, &mut rng)),
@@ -140,7 +162,7 @@ proptest! {
         let a = net.forward_sequence(&[x.clone()], 3, Mode::Eval).unwrap();
         let b = net.forward_sequence(&[x], 3, Mode::Eval).unwrap();
         for (ya, yb) in a.iter().zip(&b) {
-            prop_assert_eq!(ya, yb);
+            assert_eq!(ya, yb, "case {case}");
         }
     }
 }

@@ -4,8 +4,14 @@
 //! output pixel (`n * oh * ow` rows) and one column per kernel tap
 //! (`c * k * k` columns), so a convolution is a single matrix product with a
 //! `[c_out, c*k*k]` weight matrix.
+//!
+//! The unfold/fold/layout passes are partitioned across the
+//! [`crate::parallel`] pool: `im2col` by output row (each row written once)
+//! and `col2im`/layout transforms by batch index (all `+=` accumulation for a
+//! sample stays on one worker, in serial order), so results are bitwise
+//! identical for any thread count.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{parallel, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution (square kernel, symmetric padding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,37 +107,42 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (oh, ow) = spec.output_hw(h, w)?;
     let k = spec.kernel;
     let pl = spec.patch_len();
-    let mut cols = Tensor::zeros(&[n * oh * ow, pl]);
+    let rows = n * oh * ow;
+    let mut cols = Tensor::zeros(&[rows, pl]);
+    if rows == 0 {
+        return Ok(cols);
+    }
     let src = input.data();
-    let dst = cols.data_mut();
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * pl;
-                let iy0 = (oy * spec.stride) as isize - pad;
-                let ix0 = (ox * spec.stride) as isize - pad;
-                for ci in 0..c {
-                    let cbase = (ni * c + ci) * h * w;
-                    for ky in 0..k {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // padding stays zero
+    let work = rows.saturating_mul(pl);
+    parallel::for_each_row_chunk(cols.data_mut(), pl, rows, work, |first_row, dst| {
+        for (local, patch) in dst.chunks_mut(pl).enumerate() {
+            let flat = first_row + local;
+            let ox = flat % ow;
+            let oy = (flat / ow) % oh;
+            let ni = flat / (ow * oh);
+            let iy0 = (oy * spec.stride) as isize - pad;
+            let ix0 = (ox * spec.stride) as isize - pad;
+            for ci in 0..c {
+                let cbase = (ni * c + ci) * h * w;
+                for ky in 0..k {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // padding stays zero
+                    }
+                    let srow = cbase + iy as usize * w;
+                    let drow = (ci * k + ky) * k;
+                    for kx in 0..k {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
                         }
-                        let srow = cbase + iy as usize * w;
-                        let drow = row + (ci * k + ky) * k;
-                        for kx in 0..k {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            dst[drow + kx] = src[srow + ix as usize];
-                        }
+                        patch[drow + kx] = src[srow + ix as usize];
                     }
                 }
             }
         }
-    }
+    });
     Ok(cols)
 }
 
@@ -154,36 +165,45 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
         });
     }
     let mut out = Tensor::zeros(&[n, c, h, w]);
+    let sample_len = c * h * w;
+    if n == 0 || sample_len == 0 {
+        return Ok(out);
+    }
     let src = cols.data();
-    let dst = out.data_mut();
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * pl;
-                let iy0 = (oy * spec.stride) as isize - pad;
-                let ix0 = (ox * spec.stride) as isize - pad;
-                for ci in 0..c {
-                    let cbase = (ni * c + ci) * h * w;
-                    for ky in 0..k {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let drow = cbase + iy as usize * w;
-                        let srow = row + (ci * k + ky) * k;
-                        for kx in 0..k {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+    // Partition by batch index: every += for sample ni lands in that sample's
+    // chunk, in the same (oy, ox, ci, ky, kx) order as the serial loop.
+    let work = n.saturating_mul(oh * ow).saturating_mul(pl);
+    parallel::for_each_row_chunk(out.data_mut(), sample_len, n, work, |first_n, dst| {
+        for (local_ni, sample) in dst.chunks_mut(sample_len).enumerate() {
+            let ni = first_n + local_ni;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((ni * oh + oy) * ow + ox) * pl;
+                    let iy0 = (oy * spec.stride) as isize - pad;
+                    let ix0 = (ox * spec.stride) as isize - pad;
+                    for ci in 0..c {
+                        let cbase = ci * h * w;
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            dst[drow + ix as usize] += src[srow + kx];
+                            let drow = cbase + iy as usize * w;
+                            let srow = row + (ci * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                sample[drow + ix as usize] += src[srow + kx];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -255,18 +275,25 @@ pub fn conv2d_backward(
 /// `[n*oh*ow, c]` row matrix → `[n, c, oh, ow]`.
 fn rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let sample_len = c * oh * ow;
+    if n == 0 || sample_len == 0 {
+        return out;
+    }
     let src = mat.data();
-    let dst = out.data_mut();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * c;
-                for ci in 0..c {
-                    dst[((ni * c + ci) * oh + oy) * ow + ox] = src[row + ci];
+    let work = n.saturating_mul(sample_len);
+    parallel::for_each_row_chunk(out.data_mut(), sample_len, n, work, |first_n, dst| {
+        for (local_ni, sample) in dst.chunks_mut(sample_len).enumerate() {
+            let ni = first_n + local_ni;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((ni * oh + oy) * ow + ox) * c;
+                    for ci in 0..c {
+                        sample[(ci * oh + oy) * ow + ox] = src[row + ci];
+                    }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -274,18 +301,25 @@ fn rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tenso
 fn nchw_to_rows(t: &Tensor) -> Tensor {
     let [n, c, oh, ow] = dims4(t).expect("nchw_to_rows requires 4-d input");
     let mut out = Tensor::zeros(&[n * oh * ow, c]);
+    let sample_len = oh * ow * c;
+    if n == 0 || sample_len == 0 {
+        return out;
+    }
     let src = t.data();
-    let dst = out.data_mut();
-    for ni in 0..n {
-        for ci in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    dst[(((ni * oh + oy) * ow + ox) * c) + ci] =
-                        src[((ni * c + ci) * oh + oy) * ow + ox];
+    let work = n.saturating_mul(sample_len);
+    parallel::for_each_row_chunk(out.data_mut(), sample_len, n, work, |first_n, dst| {
+        for (local_ni, sample) in dst.chunks_mut(sample_len).enumerate() {
+            let ni = first_n + local_ni;
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        sample[((oy * ow + ox) * c) + ci] =
+                            src[((ni * c + ci) * oh + oy) * ow + ox];
+                    }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -417,6 +451,33 @@ mod tests {
         }
         // bias gradient is #output pixels per channel
         assert_eq!(gb.data(), &[16.0, 16.0]);
+    }
+
+    #[test]
+    fn conv_forward_backward_are_thread_count_invariant() {
+        let mut rng = TensorRng::seed_from(21);
+        // 4 samples × 3ch × 12px clears the parallel-work threshold.
+        let spec = Conv2dSpec::new(3, 8, 3, 1, 1).unwrap();
+        let x = Tensor::randn(&[4, 3, 12, 12], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn(&[8, spec.patch_len()], 0.0, 0.5, &mut rng);
+        let b = Tensor::randn(&[8], 0.0, 0.1, &mut rng);
+        let run = || {
+            let (y, cols) = conv2d(&x, &w, Some(&b), &spec).unwrap();
+            let gy = Tensor::ones(y.dims());
+            let (gx, gw, gb) = conv2d_backward(&gy, &cols, &w, &spec, (12, 12)).unwrap();
+            (y, gx, gw, gb)
+        };
+        let serial = crate::parallel::with_threads(1, run);
+        for threads in [2, 4] {
+            let par = crate::parallel::with_threads(threads, run);
+            for (s, p) in
+                [(&serial.0, &par.0), (&serial.1, &par.1), (&serial.2, &par.2), (&serial.3, &par.3)]
+            {
+                let sb: Vec<u32> = s.data().iter().map(|v| v.to_bits()).collect();
+                let pb: Vec<u32> = p.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sb, pb, "threads={threads}");
+            }
+        }
     }
 
     #[test]

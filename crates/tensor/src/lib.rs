@@ -6,8 +6,12 @@
 //! convolution, pooling, softmax and reduction kernels, and deterministic
 //! random initialization.
 //!
-//! Everything is pure safe Rust, single threaded and deterministic so that
-//! experiment results are exactly reproducible across runs.
+//! Everything is pure safe Rust and **deterministic (thread-count-invariant)**:
+//! the hot kernels run on the scoped-thread pool in [`parallel`], but every
+//! worker owns a disjoint slice of output rows so float accumulation order
+//! never changes — results are bitwise identical whether `DTSNN_THREADS` is
+//! `1` (exactly the old serial path) or any larger worker count, and exactly
+//! reproducible across runs.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@ mod conv;
 mod error;
 mod linalg;
 mod ops;
+pub mod parallel;
 mod pool;
 mod rng;
 mod shape;

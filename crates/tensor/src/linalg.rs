@@ -1,9 +1,12 @@
 //! Matrix multiplication kernels.
 //!
-//! Straightforward cache-friendly (i,k,j) loop ordering; plenty for the
-//! scaled-down networks this workspace trains, and deterministic.
+//! Cache-friendly (i,k,j) loop ordering, row-partitioned across the
+//! [`crate::parallel`] worker pool. Each worker owns a disjoint slice of
+//! output rows, so every output element is accumulated in exactly the same
+//! order as the serial loop — results are bitwise identical for any
+//! `DTSNN_THREADS` value.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{parallel, Result, Tensor, TensorError};
 
 impl Tensor {
     /// Matrix product `self[m,k] × rhs[k,n] → [m,n]`.
@@ -31,23 +34,28 @@ impl Tensor {
             return Err(TensorError::MatmulDims { lhs_cols: k, rhs_rows: k2 });
         }
         let mut out = Tensor::zeros(&[m, n]);
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
         let a = self.data();
         let b = rhs.data();
-        let c = out.data_mut();
-        for i in 0..m {
-            for p in 0..k {
-                let av = a[i * k + p];
-                if av == 0.0 {
-                    // Spike matrices are mostly zeros; skipping is a large win.
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
+        let work = m.saturating_mul(k).saturating_mul(n);
+        parallel::for_each_row_chunk(out.data_mut(), n, m, work, |first_row, c| {
+            for (local_i, crow) in c.chunks_mut(n).enumerate() {
+                let i = first_row + local_i;
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    if av == 0.0 {
+                        // Spike matrices are mostly zeros; skipping is a large win.
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -63,22 +71,31 @@ impl Tensor {
             return Err(TensorError::MatmulDims { lhs_cols: m, rhs_rows: k2 });
         }
         let mut out = Tensor::zeros(&[m, n]);
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
         let a = self.data();
         let b = rhs.data();
-        let c = out.data_mut();
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
+        let work = m.saturating_mul(k).saturating_mul(n);
+        parallel::for_each_row_chunk(out.data_mut(), n, m, work, |first_row, c| {
+            let rows = c.len() / n;
+            // Keep p as the outer loop (row access of b); each output element
+            // still accumulates over p in ascending order, exactly as a
+            // single-threaded pass over all rows would.
+            for p in 0..k {
+                let arow = &a[p * m + first_row..p * m + first_row + rows];
+                let brow = &b[p * n..(p + 1) * n];
+                for (local_i, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut c[local_i * n..(local_i + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -94,20 +111,31 @@ impl Tensor {
             return Err(TensorError::MatmulDims { lhs_cols: k, rhs_rows: k2 });
         }
         let mut out = Tensor::zeros(&[m, n]);
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
         let a = self.data();
         let b = rhs.data();
-        let c = out.data_mut();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
+        let work = m.saturating_mul(k).saturating_mul(n);
+        parallel::for_each_row_chunk(out.data_mut(), n, m, work, |first_row, c| {
+            for (local_i, crow) in c.chunks_mut(n).enumerate() {
+                let i = first_row + local_i;
+                let arow = &a[i * k..(i + 1) * k];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        if av == 0.0 {
+                            // Spike operands are ~80% zeros; skip like the
+                            // other two kernels do.
+                            continue;
+                        }
+                        acc += av * bv;
+                    }
+                    *cv = acc;
                 }
-                c[i * n + j] = acc;
             }
-        }
+        });
         Ok(out)
     }
 
@@ -212,6 +240,48 @@ mod tests {
         let slow = a.matmul(&b.transpose2d().unwrap()).unwrap();
         for (x, y) in fast.data().iter().zip(slow.data()) {
             assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_skips_zeros_without_changing_results() {
+        // Sparse spike-like lhs: the zero-skip path must agree with the
+        // explicit-transpose product on every element.
+        let mut rng = TensorRng::seed_from(13);
+        let mut a = Tensor::zeros(&[6, 9]);
+        for v in a.data_mut().iter_mut() {
+            if rng.bernoulli(0.2) {
+                *v = 1.0;
+            }
+        }
+        let b = Tensor::randn(&[4, 9], 0.0, 1.0, &mut rng);
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose2d().unwrap()).unwrap();
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn kernels_are_thread_count_invariant() {
+        let mut rng = TensorRng::seed_from(41);
+        // Big enough to clear the parallel-work threshold.
+        let a = Tensor::randn(&[64, 48], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[48, 56], 0.0, 1.0, &mut rng);
+        let bt = Tensor::randn(&[56, 48], 0.0, 1.0, &mut rng);
+        let at = Tensor::randn(&[48, 64], 0.0, 1.0, &mut rng);
+        let serial = parallel::with_threads(1, || {
+            (a.matmul(&b).unwrap(), at.matmul_tn(&b).unwrap(), a.matmul_nt(&bt).unwrap())
+        });
+        for threads in [2, 4, 7] {
+            let par = parallel::with_threads(threads, || {
+                (a.matmul(&b).unwrap(), at.matmul_tn(&b).unwrap(), a.matmul_nt(&bt).unwrap())
+            });
+            for (s, p) in [(&serial.0, &par.0), (&serial.1, &par.1), (&serial.2, &par.2)] {
+                let sb: Vec<u32> = s.data().iter().map(|v| v.to_bits()).collect();
+                let pb: Vec<u32> = p.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sb, pb, "threads={threads}");
+            }
         }
     }
 

@@ -1,11 +1,14 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! Deterministic random number source for the whole workspace.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna) seeded
+//! through SplitMix64 — no external crates, so the workspace builds offline
+//! and the exact bit stream is pinned by this file alone.
 
 /// Deterministic random number source used for every stochastic operation in
 /// the workspace (weight init, dataset synthesis, device-variation noise).
 ///
-/// Wrapping [`StdRng`] behind a newtype keeps the seeding policy in one place
-/// and lets higher crates split reproducible sub-streams per component.
+/// Keeping the seeding policy in one newtype lets higher crates split
+/// reproducible sub-streams per component.
 ///
 /// # Example
 ///
@@ -18,13 +21,50 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct TensorRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        TensorRng { inner: StdRng::seed_from_u64(seed) }
+        let mut s = seed;
+        TensorRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit word (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 24 bits of mantissa entropy.
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Derives an independent child stream; deterministic in `(self, tag)`.
@@ -32,13 +72,13 @@ impl TensorRng {
     /// Different `tag` values give decorrelated streams, so components can
     /// draw noise without perturbing each other's sequences.
     pub fn fork(&mut self, tag: u64) -> Self {
-        let base: u64 = self.inner.gen();
+        let base = self.next_u64();
         TensorRng::seed_from(base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.unit_f32()
     }
 
     /// Uniform integer in `[0, n)`.
@@ -47,14 +87,17 @@ impl TensorRng {
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0) is undefined");
+        // Lemire's multiply-shift; bias is at most n / 2^64 — negligible for
+        // every n this workspace uses.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Standard normal sample scaled to `mean + std * z` via Box–Muller.
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
         // Box–Muller keeps us off external distribution crates.
-        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        let u1 = self.unit_f32().max(f32::EPSILON);
+        let u2 = self.unit_f32();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         mean + std * z
     }
@@ -62,7 +105,7 @@ impl TensorRng {
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f32) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f32>() < p
+        self.unit_f32() < p
     }
 
     /// Fills `out` with i.i.d. normal samples.
@@ -82,7 +125,7 @@ impl TensorRng {
     /// Fisher–Yates shuffle of `indices`.
     pub fn shuffle(&mut self, indices: &mut [usize]) {
         for i in (1..indices.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             indices.swap(i, j);
         }
     }
@@ -120,6 +163,20 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
         assert!((mean - 2.0).abs() < 0.02, "mean={mean}");
         assert!((var - 0.25).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers_it() {
+        let mut rng = TensorRng::seed_from(17);
+        let mut lo_seen = 1.0f32;
+        let mut hi_seen = 0.0f32;
+        for _ in 0..10_000 {
+            let v = rng.uniform(0.0, 1.0);
+            assert!((0.0..1.0).contains(&v));
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        assert!(lo_seen < 0.01 && hi_seen > 0.99);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the determinism suite.
+#
+# Build, run the whole test suite, lint, then re-run the thread-count
+# invariance tests at DTSNN_THREADS=1 and DTSNN_THREADS=4 to prove that the
+# parallel execution layer is bitwise deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+# The invariance tests internally compare 1-thread vs N-thread runs; running
+# them under both ambient settings additionally covers the env-var plumbing.
+for threads in 1 4; do
+    echo "== determinism suite (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor thread_count_invariant
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-core thread_count_invariant
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor --lib parallel::
+done
+
+echo "ci.sh: all green"

@@ -1,5 +1,8 @@
 //! Property-based invariants spanning crates: entropy bounds, exit-policy
 //! monotonicity, LIF dynamics, energy-model monotonicity, quantization.
+//!
+//! Each property runs over `CASES` seeded random instances drawn from
+//! [`TensorRng`], so failures reproduce exactly by case index.
 
 use dt_snn::dtsnn::ExitPolicy;
 use dt_snn::imc::{
@@ -7,71 +10,101 @@ use dt_snn::imc::{
     SigmaEModule,
 };
 use dt_snn::snn::{Layer, LifConfig, LifNeuron, Mode, Surrogate};
-use dt_snn::tensor::{softmax_rows, Tensor};
-use proptest::prelude::*;
+use dt_snn::tensor::{softmax_rows, Tensor, TensorRng};
 
-fn probability_vector(k: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(0.01f32..10.0, k).prop_map(|raw| {
-        let s: f32 = raw.iter().sum();
-        raw.iter().map(|v| v / s).collect()
-    })
+const CASES: u64 = 64;
+
+fn case_rng(case: u64) -> TensorRng {
+    TensorRng::seed_from(0x1B4A_57E5 ^ case.wrapping_mul(0x9E37_79B9))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn probability_vector(rng: &mut TensorRng, k: usize) -> Vec<f32> {
+    let raw: Vec<f32> = (0..k).map(|_| rng.uniform(0.01, 10.0)).collect();
+    let s: f32 = raw.iter().sum();
+    raw.iter().map(|v| v / s).collect()
+}
 
-    #[test]
-    fn normalized_entropy_is_in_unit_interval(p in probability_vector(10)) {
+#[test]
+fn normalized_entropy_is_in_unit_interval() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let p = probability_vector(&mut rng, 10);
         let e = exact_normalized_entropy(&p);
-        prop_assert!((0.0..=1.0).contains(&e));
+        assert!((0.0..=1.0).contains(&e), "case {case}: entropy {e}");
     }
+}
 
-    #[test]
-    fn entropy_of_concentrated_below_uniform(mass in 0.5f32..0.99, k in 3usize..12) {
+#[test]
+fn entropy_of_concentrated_below_uniform() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let mass = rng.uniform(0.5, 0.99);
+        let k = 3 + rng.below(9);
         let mut p = vec![(1.0 - mass) / (k - 1) as f32; k];
         p[0] = mass;
         let concentrated = exact_normalized_entropy(&p);
         let uniform = exact_normalized_entropy(&vec![1.0 / k as f32; k]);
-        prop_assert!(concentrated < uniform + 1e-6);
+        assert!(concentrated < uniform + 1e-6, "case {case}: {concentrated} vs {uniform}");
     }
+}
 
-    #[test]
-    fn entropy_exit_is_monotone_in_theta(p in probability_vector(8), theta in 0.01f32..0.99) {
+#[test]
+fn entropy_exit_is_monotone_in_theta() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let p = probability_vector(&mut rng, 8);
+        let theta = rng.uniform(0.01, 0.99);
         let lo = ExitPolicy::entropy(theta).unwrap();
         let hi = ExitPolicy::entropy((theta + 0.3).min(1.0)).unwrap();
         // exiting under a strict threshold implies exiting under a lax one
         if lo.should_exit(&p) {
-            prop_assert!(hi.should_exit(&p));
+            assert!(hi.should_exit(&p), "case {case}: θ={theta}");
         }
     }
+}
 
-    #[test]
-    fn lut_entropy_tracks_exact(p in probability_vector(10)) {
-        let module = SigmaEModule::new(&HardwareConfig::default()).unwrap();
+#[test]
+fn lut_entropy_tracks_exact() {
+    let module = SigmaEModule::new(&HardwareConfig::default()).unwrap();
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let p = probability_vector(&mut rng, 10);
         let logits: Vec<f32> = p.iter().map(|v| v.ln()).collect();
         let reading = module.evaluate(&logits, 0.5).unwrap();
         let exact = exact_normalized_entropy(&p);
-        prop_assert!((reading.entropy - exact).abs() < 0.05,
-            "LUT {} vs exact {}", reading.entropy, exact);
+        assert!(
+            (reading.entropy - exact).abs() < 0.05,
+            "case {case}: LUT {} vs exact {exact}",
+            reading.entropy
+        );
     }
+}
 
-    #[test]
-    fn softmax_rows_always_normalized(vals in proptest::collection::vec(-30.0f32..30.0, 12)) {
+#[test]
+fn softmax_rows_always_normalized() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let vals: Vec<f32> = (0..12).map(|_| rng.uniform(-30.0, 30.0)).collect();
         let t = Tensor::from_vec(vals, &[3, 4]).unwrap();
         let p = softmax_rows(&t).unwrap();
         for r in 0..3 {
             let s: f32 = p.data()[r * 4..(r + 1) * 4].iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-4);
-            prop_assert!(p.data()[r * 4..(r + 1) * 4].iter().all(|v| v.is_finite() && *v >= 0.0));
+            assert!((s - 1.0).abs() < 1e-4, "case {case}: row {r} sums to {s}");
+            assert!(
+                p.data()[r * 4..(r + 1) * 4].iter().all(|v| v.is_finite() && *v >= 0.0),
+                "case {case}: row {r} not a distribution"
+            );
         }
     }
+}
 
-    #[test]
-    fn lif_spikes_are_binary_and_membrane_bounded(
-        inputs in proptest::collection::vec(-2.0f32..2.0, 8),
-        tau in 0.1f32..1.0,
-        v_th in 0.2f32..2.0,
-    ) {
+#[test]
+fn lif_spikes_are_binary_and_membrane_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let inputs: Vec<f32> = (0..8).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let tau = rng.uniform(0.1, 1.0);
+        let v_th = rng.uniform(0.2, 2.0);
         let mut lif = LifNeuron::new(LifConfig {
             tau,
             v_th,
@@ -81,48 +114,66 @@ proptest! {
         let frame = Tensor::from_vec(inputs, &[1, 8]).unwrap();
         for _ in 0..6 {
             let s = lif.forward(&frame, Mode::Eval).unwrap();
-            prop_assert!(s.data().iter().all(|&v| v == 0.0 || v == 1.0));
+            assert!(
+                s.data().iter().all(|&v| v == 0.0 || v == 1.0),
+                "case {case}: non-binary spike"
+            );
             // hard reset: post-reset membrane never exceeds v_th
             let u = lif.membrane().unwrap();
-            prop_assert!(u.data().iter().all(|&v| v <= v_th + 1e-5));
+            assert!(
+                u.data().iter().all(|&v| v <= v_th + 1e-5),
+                "case {case}: membrane exceeds threshold"
+            );
         }
     }
+}
 
-    #[test]
-    fn energy_monotone_in_density_and_timesteps(
-        d1 in 0.05f32..0.45,
-        extra in 0.05f32..0.5,
-        t in 1u32..6,
-    ) {
-        let config = HardwareConfig::default();
-        let geometry = dt_snn::snn::vgg_small_geometry(&dt_snn::snn::ModelConfig::default());
-        let mapping = ChipMapping::map(&geometry, &config).unwrap();
-        let model = CostModel::new(mapping, config).unwrap();
+#[test]
+fn energy_monotone_in_density_and_timesteps() {
+    let config = HardwareConfig::default();
+    let geometry = dt_snn::snn::vgg_small_geometry(&dt_snn::snn::ModelConfig::default());
+    let mapping = ChipMapping::map(&geometry, &config).unwrap();
+    let model = CostModel::new(mapping, config).unwrap();
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let d1 = rng.uniform(0.05, 0.45);
+        let extra = rng.uniform(0.05, 0.5);
+        let t = 1 + rng.below(5);
         let lo = vec![d1; geometry.len()];
         let hi = vec![(d1 + extra).min(1.0); geometry.len()];
         let e_lo = model.timestep_energy(&lo).unwrap().total();
         let e_hi = model.timestep_energy(&hi).unwrap().total();
-        prop_assert!(e_hi > e_lo);
+        assert!(e_hi > e_lo, "case {case}: {e_hi} !> {e_lo}");
         let c_t = model.inference_cost(&lo, t as f64, None).unwrap();
         let c_t1 = model.inference_cost(&lo, (t + 1) as f64, None).unwrap();
-        prop_assert!(c_t1.energy_pj() > c_t.energy_pj());
-        prop_assert!(c_t1.latency_cycles > c_t.latency_cycles);
+        assert!(c_t1.energy_pj() > c_t.energy_pj(), "case {case}");
+        assert!(c_t1.latency_cycles > c_t.latency_cycles, "case {case}");
     }
+}
 
-    #[test]
-    fn quantization_is_idempotent(w in -1.0f32..1.0) {
+#[test]
+fn quantization_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let w = rng.uniform(-1.0, 1.0);
         let once = quantize_dequantize(w, 1.0, 8);
         let twice = quantize_dequantize(once, 1.0, 8);
-        prop_assert!((once - twice).abs() < 1e-6);
+        assert!((once - twice).abs() < 1e-6, "case {case}: {once} vs {twice}");
     }
+}
 
-    #[test]
-    fn max_prob_and_margin_policies_bounded(p in probability_vector(6)) {
+#[test]
+fn max_prob_and_margin_policies_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let p = probability_vector(&mut rng, 6);
         let mp = ExitPolicy::max_prob(0.5).unwrap();
         let mg = ExitPolicy::margin(0.5).unwrap();
-        prop_assert!((0.0..=1.0).contains(&mp.score(&p)));
-        prop_assert!((0.0..=1.0).contains(&mg.score(&p)));
-        prop_assert!(mg.score(&p) <= mp.score(&p) + 1e-6,
-            "margin cannot exceed the top probability");
+        assert!((0.0..=1.0).contains(&mp.score(&p)), "case {case}");
+        assert!((0.0..=1.0).contains(&mg.score(&p)), "case {case}");
+        assert!(
+            mg.score(&p) <= mp.score(&p) + 1e-6,
+            "case {case}: margin cannot exceed the top probability"
+        );
     }
 }
