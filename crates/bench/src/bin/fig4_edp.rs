@@ -54,12 +54,12 @@ fn recompute(exp: &ExpConfig) -> Result<EdpRows, Box<dyn std::error::Error>> {
                 .dynamic_points
                 .iter()
                 .filter(|p| p.accuracy >= target - 0.005)
-                .min_by(|a, b| a.avg_timesteps.partial_cmp(&b.avg_timesteps).expect("finite"))
+                .min_by(|a, b| a.avg_timesteps.total_cmp(&b.avg_timesteps))
                 .unwrap_or_else(|| {
                     dt_sweep
                         .dynamic_points
                         .iter()
-                        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+                        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
                         .expect("nonempty sweep")
                 });
             out.push((

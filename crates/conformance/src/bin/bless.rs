@@ -1,0 +1,26 @@
+//! Regenerates every committed golden trace from the live code.
+//!
+//! Run after an *intentional* numerics change, inspect the diff of
+//! `goldens/*.json`, and commit the new files together with the change:
+//!
+//! ```text
+//! cargo run -p dtsnn-conformance --bin bless
+//! ```
+
+use dtsnn_conformance::trace::{bless, TraceSpec};
+
+fn main() {
+    let mut failed = false;
+    for spec in TraceSpec::all_defaults() {
+        match bless(&spec) {
+            Ok(path) => println!("blessed {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to bless {}: {e}", spec.golden_name());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,396 @@
+//! Seeded differential fuzzing of cross-path equivalences.
+//!
+//! Every case is derived deterministically from a single `u64` seed
+//! ([`FuzzCase::from_seed`]), so a failure is reproduced by re-running that
+//! seed — the failure report carries it, plus a greedily minimized variant
+//! of the case ([`minimize`]) that still violates the same oracle.
+//!
+//! Oracles (all must hold for every case):
+//!
+//! 1. **Never-exit DT-SNN ≡ static SNN** — with a θ no realistic entropy
+//!    undercuts, dynamic inference must run the full window and its
+//!    accumulated logits must equal the static path's sum bitwise (both are
+//!    the same `axpy` chain over the same per-timestep outputs).
+//! 2. **Thread-count invariance** — one inference under 1 worker and under 4
+//!    workers returns bitwise-identical [`DynamicOutcome`]s (the contract of
+//!    the deterministic parallel execution layer).
+//! 3. **σ = 0 device reads ≡ pure quantization** — the noisy RRAM read model
+//!    with zero conductance variation collapses to quantize–dequantize.
+//! 4. **Mapping invariants** — every [`MappedLayer`] satisfies the
+//!    arithmetic relations of Sec. III-B, and remapping is bitwise stable.
+//! 5. **Checkpoint round-trip** — saving a network and loading it into a
+//!    differently-initialized clone of the same architecture reproduces the
+//!    original's inference outputs bitwise.
+
+use dtsnn_bench::Arch;
+use dtsnn_core::{static_inference, DynamicInference, DynamicOutcome, ExitPolicy};
+use dtsnn_imc::{quantize_dequantize, ChipMapping, DeviceNoise, HardwareConfig};
+use dtsnn_snn::{load_params, save_params, LifConfig, Mode, ModelConfig, Snn};
+use dtsnn_tensor::{parallel, Tensor, TensorRng};
+
+/// A randomly derived but fully deterministic fuzz configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzCase {
+    /// The seed this case was derived from (reproduction handle).
+    pub seed: u64,
+    /// `true` → ResNet backbone, `false` → VGG.
+    pub resnet: bool,
+    /// Number of classes (2–5).
+    pub classes: usize,
+    /// Square input extent (8, 12 or 16).
+    pub image_size: usize,
+    /// Backbone channel width (4 or 8).
+    pub width: usize,
+    /// Maximum timestep window (1–4).
+    pub timesteps: usize,
+    /// Entropy exit threshold for the early-exit oracles.
+    pub theta: f32,
+    /// Crossbar size for the mapping oracle (32, 64 or 128).
+    pub crossbar_size: usize,
+}
+
+impl FuzzCase {
+    /// Derives a case from a seed. Identical seeds give identical cases.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = TensorRng::seed_from(seed ^ 0xF0_55_EE_D5);
+        FuzzCase {
+            seed,
+            resnet: rng.bernoulli(0.5),
+            classes: 2 + rng.below(4),
+            image_size: [8, 12, 16][rng.below(3)],
+            width: [4, 8][rng.below(2)],
+            timesteps: 1 + rng.below(4),
+            theta: rng.uniform(0.05, 0.95),
+            crossbar_size: [32, 64, 128][rng.below(3)],
+        }
+    }
+
+    fn arch(&self) -> Arch {
+        if self.resnet {
+            Arch::ResNet
+        } else {
+            Arch::Vgg
+        }
+    }
+
+    fn model_config(&self) -> ModelConfig {
+        ModelConfig {
+            in_channels: 2,
+            image_size: self.image_size,
+            num_classes: self.classes,
+            lif: LifConfig { v_th: 1.0, tau: 0.75, ..LifConfig::default() },
+            width: self.width,
+            tdbn_alpha: 1.0,
+            dropout: 0.0,
+        }
+    }
+
+    fn build(&self, seed_offset: u64) -> Result<Snn, String> {
+        let mut rng = TensorRng::seed_from(self.seed.wrapping_add(seed_offset));
+        self.arch().build(&self.model_config(), &mut rng).map_err(|e| e.to_string())
+    }
+
+    fn frame(&self, tag: u64) -> Tensor {
+        let mut rng = TensorRng::seed_from(self.seed ^ tag);
+        Tensor::randn(&[2, self.image_size, self.image_size], 0.5, 0.5, &mut rng)
+    }
+}
+
+/// A θ below any entropy a softmax over ≥2 finite-logit classes can reach in
+/// f32 — the "never triggers" threshold of oracle 1.
+const THETA_NEVER: f32 = 1e-30;
+
+fn oracle_never_exit_equals_static(case: &FuzzCase) -> Result<(), String> {
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(THETA_NEVER).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    let frame = case.frame(0xA11CE);
+    let mut dyn_net = case.build(1)?;
+    let traced =
+        runner.run_traced(&mut dyn_net, std::slice::from_ref(&frame)).map_err(|e| e.to_string())?;
+    if traced.outcome.exited_early || traced.outcome.timesteps_used != case.timesteps {
+        return Err(format!(
+            "θ={THETA_NEVER:e} exited early at t={} of {}",
+            traced.outcome.timesteps_used, case.timesteps
+        ));
+    }
+    let mut static_net = case.build(1)?;
+    let static_pred = static_inference(&mut static_net, std::slice::from_ref(&frame), case.timesteps)
+        .map_err(|e| e.to_string())?;
+    if traced.outcome.prediction != static_pred {
+        return Err(format!(
+            "never-exit dynamic prediction {} != static prediction {static_pred}",
+            traced.outcome.prediction
+        ));
+    }
+    // bitwise: the dynamic accumulator and the static sum are the same axpy
+    // chain over the same per-timestep logits
+    let mut sum_net = case.build(1)?;
+    let batched = frame.reshape(&[1, 2, case.image_size, case.image_size]).map_err(|e| e.to_string())?;
+    let outputs = sum_net
+        .forward_sequence(std::slice::from_ref(&batched), case.timesteps, Mode::Eval)
+        .map_err(|e| e.to_string())?;
+    let mut sum = outputs[0].clone();
+    for o in &outputs[1..] {
+        sum.axpy(1.0, o).map_err(|e| e.to_string())?;
+    }
+    let acc = &traced.per_timestep.last().expect("nonempty trace").accumulated_logits;
+    if acc.as_slice() != sum.data() {
+        return Err("never-exit accumulated logits differ bitwise from static sum".into());
+    }
+    Ok(())
+}
+
+fn oracle_thread_count_invariance(case: &FuzzCase) -> Result<(), String> {
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(case.theta).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    let frame = case.frame(0xB0B);
+    let run_with = |threads: usize| -> Result<DynamicOutcome, String> {
+        parallel::with_threads(threads, || {
+            let mut net = case.build(2)?;
+            runner.run(&mut net, std::slice::from_ref(&frame)).map_err(|e| e.to_string())
+        })
+    };
+    let single = run_with(1)?;
+    let multi = run_with(4)?;
+    if single != multi {
+        return Err(format!(
+            "outcome differs across thread counts: 1 worker {single:?} vs 4 workers {multi:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn oracle_noiseless_device_is_quantization(case: &FuzzCase) -> Result<(), String> {
+    let config = HardwareConfig { sigma_over_mu: 0.0, ..HardwareConfig::default() };
+    let model = DeviceNoise::new(&config).map_err(|e| e.to_string())?;
+    let mut rng = TensorRng::seed_from(case.seed ^ 0x0153);
+    for _ in 0..32 {
+        let scale = rng.uniform(0.1, 2.0);
+        let w = rng.uniform(-scale, scale);
+        let read = model.read_weight(w, scale, &mut rng);
+        let ideal = quantize_dequantize(w, scale, config.weight_bits);
+        if (read - ideal).abs() >= 1e-4 {
+            return Err(format!(
+                "σ=0 read of w={w} (scale {scale}) gave {read}, quantization gives {ideal}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn oracle_mapping_invariants(case: &FuzzCase) -> Result<(), String> {
+    let config = HardwareConfig { crossbar_size: case.crossbar_size, ..HardwareConfig::default() };
+    let geometry = case.arch().geometry(&case.model_config());
+    let mapping = ChipMapping::map(&geometry, &config).map_err(|e| e.to_string())?;
+    let slices = config.slices_per_weight();
+    for (i, layer) in mapping.layers().iter().enumerate() {
+        let xb = config.crossbar_size;
+        if layer.physical_cols != layer.cols * slices * 2 {
+            return Err(format!("layer {i}: physical_cols {} != cols·slices·2", layer.physical_cols));
+        }
+        if layer.row_segments != layer.rows.div_ceil(xb)
+            || layer.col_segments != layer.physical_cols.div_ceil(xb)
+        {
+            return Err(format!("layer {i}: segment counts disagree with ⌈extent/{xb}⌉"));
+        }
+        if layer.crossbars != layer.row_segments * layer.col_segments {
+            return Err(format!("layer {i}: crossbars != row_segments × col_segments"));
+        }
+        if layer.tiles != layer.crossbars.div_ceil(config.crossbars_per_tile) {
+            return Err(format!("layer {i}: tiles != ⌈crossbars / crossbars_per_tile⌉"));
+        }
+        if layer.output_neurons != layer.cols * layer.vector_presentations {
+            return Err(format!("layer {i}: output_neurons != cols × presentations"));
+        }
+    }
+    if mapping.layers().last().map(|l| l.is_classifier) != Some(true) {
+        return Err("last mapped layer not marked as classifier".into());
+    }
+    let remapped = ChipMapping::map(&geometry, &config).map_err(|e| e.to_string())?;
+    if mapping != remapped {
+        return Err("remapping the same geometry is not bitwise stable".into());
+    }
+    Ok(())
+}
+
+fn oracle_checkpoint_roundtrip(case: &FuzzCase) -> Result<(), String> {
+    let mut original = case.build(3)?;
+    let path = std::env::temp_dir().join(format!(
+        "dtsnn-fuzz-ckpt-{}-{}.bin",
+        case.seed,
+        std::process::id()
+    ));
+    save_params(&mut original, &path).map_err(|e| e.to_string())?;
+    // same architecture, different weights — load must overwrite all of them
+    let mut reloaded = case.build(4)?;
+    let load_result = load_params(&mut reloaded, &path).map_err(|e| e.to_string());
+    let _ = std::fs::remove_file(&path);
+    load_result?;
+    let frame = case
+        .frame(0xC0FFEE)
+        .reshape(&[1, 2, case.image_size, case.image_size])
+        .map_err(|e| e.to_string())?;
+    let a = original
+        .forward_sequence(std::slice::from_ref(&frame), case.timesteps, Mode::Eval)
+        .map_err(|e| e.to_string())?;
+    let b = reloaded
+        .forward_sequence(std::slice::from_ref(&frame), case.timesteps, Mode::Eval)
+        .map_err(|e| e.to_string())?;
+    if a != b {
+        return Err("reloaded network's inference outputs differ bitwise from the original".into());
+    }
+    Ok(())
+}
+
+/// Runs every oracle against `case`, returning the first violation.
+///
+/// # Errors
+///
+/// Returns a description of the violated equivalence.
+pub fn run_case(case: &FuzzCase) -> Result<(), String> {
+    oracle_never_exit_equals_static(case).map_err(|e| format!("never-exit≡static: {e}"))?;
+    oracle_thread_count_invariance(case).map_err(|e| format!("thread-invariance: {e}"))?;
+    oracle_noiseless_device_is_quantization(case).map_err(|e| format!("σ=0≡quantize: {e}"))?;
+    oracle_mapping_invariants(case).map_err(|e| format!("mapping: {e}"))?;
+    oracle_checkpoint_roundtrip(case).map_err(|e| format!("checkpoint: {e}"))?;
+    Ok(())
+}
+
+/// Greedily shrinks a failing case while `check` keeps failing.
+///
+/// Each step tries one-notch reductions of every dimension (fewer timesteps,
+/// smaller image, narrower network, fewer classes, VGG instead of ResNet,
+/// smaller crossbar) and keeps the first reduction that still fails,
+/// looping to a fixed point. The result is the minimal reproduction reported
+/// alongside the seed.
+pub fn minimize(case: FuzzCase, check: &dyn Fn(&FuzzCase) -> Result<(), String>) -> FuzzCase {
+    debug_assert!(check(&case).is_err(), "minimize requires a failing case");
+    let mut current = case;
+    loop {
+        let mut candidates: Vec<FuzzCase> = Vec::new();
+        if current.timesteps > 1 {
+            candidates.push(FuzzCase { timesteps: current.timesteps - 1, ..current });
+        }
+        if current.image_size > 8 {
+            candidates.push(FuzzCase { image_size: current.image_size - 4, ..current });
+        }
+        if current.width > 4 {
+            candidates.push(FuzzCase { width: 4, ..current });
+        }
+        if current.classes > 2 {
+            candidates.push(FuzzCase { classes: current.classes - 1, ..current });
+        }
+        if current.resnet {
+            candidates.push(FuzzCase { resnet: false, ..current });
+        }
+        if current.crossbar_size > 32 {
+            candidates.push(FuzzCase { crossbar_size: current.crossbar_size / 2, ..current });
+        }
+        match candidates.into_iter().find(|c| check(c).is_err()) {
+            Some(smaller) => current = smaller,
+            None => return current,
+        }
+    }
+}
+
+/// A minimized, reproducible fuzz failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzFailure {
+    /// Seed that reproduces the failure (`FuzzCase::from_seed(seed)`).
+    pub seed: u64,
+    /// The case as originally derived.
+    pub original: FuzzCase,
+    /// The greedily minimized case that still fails.
+    pub minimized: FuzzCase,
+    /// The violated oracle, from the minimized case.
+    pub message: String,
+}
+
+impl std::fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fuzz failure — reproduce with seed {:#x} (FuzzCase::from_seed then run_case)\n  oracle: {}\n  original:  {:?}\n  minimized: {:?}",
+            self.seed, self.message, self.original, self.minimized
+        )
+    }
+}
+
+/// Derives the case for `seed`, runs every oracle, and on failure returns the
+/// seed plus a minimized reproduction.
+///
+/// # Errors
+///
+/// Returns [`FuzzFailure`] describing the violated equivalence.
+pub fn run_seed(seed: u64) -> Result<(), FuzzFailure> {
+    let original = FuzzCase::from_seed(seed);
+    match run_case(&original) {
+        Ok(()) => Ok(()),
+        Err(first_message) => {
+            let minimized = minimize(original, &|c| run_case(c));
+            let message = run_case(&minimized).err().unwrap_or(first_message);
+            Err(FuzzFailure { seed, original, minimized, message })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FuzzCase::from_seed(seed);
+            assert_eq!(a, FuzzCase::from_seed(seed));
+            assert!((2..=5).contains(&a.classes));
+            assert!([8, 12, 16].contains(&a.image_size));
+            assert!([4, 8].contains(&a.width));
+            assert!((1..=4).contains(&a.timesteps));
+            assert!(a.theta > 0.0 && a.theta < 1.0);
+            assert!([32, 64, 128].contains(&a.crossbar_size));
+        }
+        // the derivation actually varies across seeds
+        let distinct: std::collections::HashSet<usize> =
+            (0..64).map(|s| FuzzCase::from_seed(s).classes).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn minimizer_reaches_the_smallest_failing_case() {
+        // synthetic oracle: fails whenever timesteps ≥ 2 and width ≥ 8 —
+        // the minimizer must shrink everything else to its floor while
+        // keeping exactly those two dimensions at their failure boundary
+        let check = |c: &FuzzCase| -> Result<(), String> {
+            if c.timesteps >= 2 && c.width >= 8 {
+                Err("synthetic".into())
+            } else {
+                Ok(())
+            }
+        };
+        let start = FuzzCase {
+            seed: 99,
+            resnet: true,
+            classes: 5,
+            image_size: 16,
+            width: 8,
+            timesteps: 4,
+            theta: 0.5,
+            crossbar_size: 128,
+        };
+        let min = minimize(start, &check);
+        assert!(check(&min).is_err(), "minimized case must still fail");
+        assert_eq!(min.timesteps, 2);
+        assert_eq!(min.width, 8);
+        assert_eq!(min.image_size, 8);
+        assert_eq!(min.classes, 2);
+        assert!(!min.resnet);
+        assert_eq!(min.crossbar_size, 32);
+    }
+}

@@ -1,0 +1,21 @@
+//! Differential fuzz smoke: a fixed budget of seeds through every oracle.
+//!
+//! CI runs this at `DTSNN_THREADS=1` and `4`; the oracles themselves pin
+//! thread counts where the equivalence demands it, so the suite must pass
+//! identically under both. A failure prints the reproducing seed and a
+//! minimized case (see `dtsnn_conformance::fuzz`).
+
+use dtsnn_conformance::fuzz::run_seed;
+
+/// Fixed smoke budget. Seeds are arbitrary but committed: a failure seen in
+/// CI is reproduced locally by the same seed.
+const SMOKE_SEEDS: [u64; 4] = [0xD75_0001, 0xD75_0002, 0xD75_0003, 0x5EED_CAFE];
+
+#[test]
+fn fixed_seed_fuzz_budget_passes_every_oracle() {
+    for &seed in &SMOKE_SEEDS {
+        if let Err(failure) = run_seed(seed) {
+            panic!("{failure}");
+        }
+    }
+}

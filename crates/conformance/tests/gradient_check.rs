@@ -1,0 +1,48 @@
+//! Whole-network gradient verification: central finite differences against
+//! BPTT through complete VGG/ResNet-block networks, under both the Eq. 9
+//! mean-output and Eq. 10 per-timestep losses (see
+//! `dtsnn_conformance::gradcheck` for why this is exact rather than
+//! approximate).
+
+use dtsnn_bench::Arch;
+use dtsnn_conformance::gradcheck::{check_network_gradients, GradCheckConfig};
+use dtsnn_snn::LossKind;
+
+fn run(arch: Arch, loss: LossKind) {
+    let cfg = GradCheckConfig::new(arch, loss);
+    let report = check_network_gradients(&cfg).expect("gradient check runs");
+    assert!(report.checked >= 10, "too few parameters sampled: {}", report.checked);
+    assert!(
+        report.max_abs_grad > 1e-4,
+        "vacuous check: largest sampled analytic gradient is only {:.3e}",
+        report.max_abs_grad
+    );
+    assert!(
+        report.failures.is_empty(),
+        "{} / {} sampled gradients out of tolerance (max |err| {:.3e}):\n  {}",
+        report.failures.len(),
+        report.checked,
+        report.max_abs_err,
+        report.failures.join("\n  ")
+    );
+}
+
+#[test]
+fn vgg_mean_output_loss_gradients_match_finite_differences() {
+    run(Arch::Vgg, LossKind::MeanOutput);
+}
+
+#[test]
+fn vgg_per_timestep_loss_gradients_match_finite_differences() {
+    run(Arch::Vgg, LossKind::PerTimestep);
+}
+
+#[test]
+fn resnet_mean_output_loss_gradients_match_finite_differences() {
+    run(Arch::ResNet, LossKind::MeanOutput);
+}
+
+#[test]
+fn resnet_per_timestep_loss_gradients_match_finite_differences() {
+    run(Arch::ResNet, LossKind::PerTimestep);
+}

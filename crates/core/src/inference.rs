@@ -21,6 +21,27 @@ pub struct DynamicOutcome {
     pub probabilities: Vec<f32>,
 }
 
+/// Everything observed during one executed timestep of a traced inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimestepTrace {
+    /// Logits accumulated (summed, not yet averaged) up to this timestep.
+    pub accumulated_logits: Vec<f32>,
+    /// Output spike density of every observable spiking layer, network order.
+    pub spike_densities: Vec<f32>,
+    /// Policy confidence score (normalized entropy for the paper's policy).
+    pub score: f32,
+}
+
+/// A fully instrumented dynamic inference: the outcome plus every
+/// intermediate quantity the golden-trace recorder commits to disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicTrace {
+    /// The plain inference result.
+    pub outcome: DynamicOutcome,
+    /// One record per executed timestep (`len == outcome.timesteps_used`).
+    pub per_timestep: Vec<TimestepTrace>,
+}
+
 /// Dynamic-timestep inference engine bound to an exit policy and a maximum
 /// window `T`.
 ///
@@ -65,6 +86,20 @@ impl DynamicInference {
     /// Returns [`CoreError::BadInput`] for empty or miscounted frames and
     /// propagates network errors.
     pub fn run(&self, network: &mut Snn, frames: &[Tensor]) -> Result<DynamicOutcome> {
+        // Delegating keeps the traced and untraced paths structurally
+        // identical, so golden traces can never drift from production runs.
+        Ok(self.run_traced(network, frames)?.outcome)
+    }
+
+    /// Like [`DynamicInference::run`], additionally recording the accumulated
+    /// logits, per-layer spike densities and policy score of every executed
+    /// timestep. This is the recording half of the conformance crate's
+    /// golden-trace subsystem.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DynamicInference::run`].
+    pub fn run_traced(&self, network: &mut Snn, frames: &[Tensor]) -> Result<DynamicTrace> {
         if frames.is_empty() {
             return Err(CoreError::BadInput("empty frame sequence".into()));
         }
@@ -78,6 +113,7 @@ impl DynamicInference {
         network.reset_state();
         let mut accumulated: Option<Tensor> = None;
         let mut scores = Vec::with_capacity(self.max_timesteps);
+        let mut per_timestep = Vec::with_capacity(self.max_timesteps);
         for t in 1..=self.max_timesteps {
             let frame = if frames.len() == 1 { &frames[0] } else { &frames[t - 1] };
             let input = to_batch1(frame)?;
@@ -92,16 +128,26 @@ impl DynamicInference {
             let probs = softmax_rows(&f_t)?;
             let score = self.policy.score(probs.data());
             scores.push(score);
+            per_timestep.push(TimestepTrace {
+                accumulated_logits: acc.data().to_vec(),
+                spike_densities: network
+                    .layers()
+                    .iter()
+                    .filter_map(|n| n.layer.last_spike_density())
+                    .collect(),
+                score,
+            });
             let exit = self.policy.should_exit(probs.data());
             if exit || t == self.max_timesteps {
                 let prediction = probs.row(0)?.argmax()?;
-                return Ok(DynamicOutcome {
+                let outcome = DynamicOutcome {
                     prediction,
                     timesteps_used: t,
                     exited_early: exit && t < self.max_timesteps,
                     scores,
                     probabilities: probs.data().to_vec(),
-                });
+                };
+                return Ok(DynamicTrace { outcome, per_timestep });
             }
         }
         unreachable!("loop always returns at t == max_timesteps")
@@ -220,6 +266,35 @@ mod tests {
         let s: f32 = out.probabilities.iter().sum();
         assert!((s - 1.0).abs() < 1e-5);
         assert!(out.prediction < 3);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run_and_records_every_timestep() {
+        let p = ExitPolicy::entropy(0.5).unwrap();
+        let runner = DynamicInference::new(p, 4).unwrap();
+        let mut rng = TensorRng::seed_from(13);
+        let frame = Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng);
+        let mut net = tiny_net(12);
+        let traced = runner.run_traced(&mut net, std::slice::from_ref(&frame)).unwrap();
+        let mut net2 = tiny_net(12);
+        let plain = runner.run(&mut net2, &[frame]).unwrap();
+        assert_eq!(traced.outcome, plain);
+        assert_eq!(traced.per_timestep.len(), plain.timesteps_used);
+        for (rec, &score) in traced.per_timestep.iter().zip(&plain.scores) {
+            assert_eq!(rec.score, score);
+            assert_eq!(rec.spike_densities.len(), 1); // one LIF in tiny_net
+            assert_eq!(rec.accumulated_logits.len(), 3);
+        }
+        // the final accumulated logits reproduce the exit probabilities
+        let last = traced.per_timestep.last().unwrap();
+        let inv_t = 1.0 / plain.timesteps_used as f32;
+        let f_t = Tensor::from_vec(
+            last.accumulated_logits.iter().map(|&v| v * inv_t).collect(),
+            &[1, 3],
+        )
+        .unwrap();
+        let probs = softmax_rows(&f_t).unwrap();
+        assert_eq!(probs.data(), plain.probabilities.as_slice());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use calibration::{
 pub use energy_link::{densities_from_activity, HardwareProfile};
 pub use error::CoreError;
 pub use harness::{DynamicEvaluation, DynamicSampleOutcome, StaticEvaluation};
-pub use inference::{static_inference, DynamicInference, DynamicOutcome};
+pub use inference::{static_inference, DynamicInference, DynamicOutcome, DynamicTrace, TimestepTrace};
 pub use policy::ExitPolicy;
 pub use sweep::{SweepPoint, ThresholdSweep};
 pub use throughput::{measure_dynamic_throughput, measure_throughput, ThroughputReport};

@@ -116,15 +116,11 @@ impl ThresholdSweep {
         self.dynamic_points
             .iter()
             .filter(|p| p.accuracy >= target - 0.005)
-            .min_by(|a, b| {
-                a.avg_timesteps
-                    .partial_cmp(&b.avg_timesteps)
-                    .expect("finite avg timesteps")
-            })
+            .min_by(|a, b| a.avg_timesteps.total_cmp(&b.avg_timesteps))
             .or_else(|| {
-                self.dynamic_points.iter().max_by(|a, b| {
-                    a.accuracy.partial_cmp(&b.accuracy).expect("finite accuracy")
-                })
+                self.dynamic_points
+                    .iter()
+                    .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
             })
     }
 }

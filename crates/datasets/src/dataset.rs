@@ -54,6 +54,21 @@ impl Split {
     pub fn truncated(&self, n: usize) -> Split {
         Split { samples: self.samples.iter().take(n).cloned().collect() }
     }
+
+    /// The sample with the lowest difficulty.
+    ///
+    /// Ordering uses [`f32::total_cmp`], so a NaN difficulty (corrupt
+    /// metadata) sorts above every finite value instead of panicking the
+    /// comparison — it can never be reported as "easiest".
+    pub fn easiest(&self) -> Option<&Sample> {
+        self.samples.iter().min_by(|a, b| a.difficulty.total_cmp(&b.difficulty))
+    }
+
+    /// The sample with the highest difficulty (NaN-safe; see
+    /// [`Split::easiest`]).
+    pub fn hardest(&self) -> Option<&Sample> {
+        self.samples.iter().max_by(|a, b| a.difficulty.total_cmp(&b.difficulty))
+    }
 }
 
 impl FromIterator<Sample> for Split {
@@ -115,6 +130,20 @@ mod tests {
         assert_eq!(split.difficulties(), vec![0.1, 0.9]);
         assert_eq!(split.frames().len(), 2);
         assert_eq!(split.truncated(1).len(), 1);
+    }
+
+    #[test]
+    fn difficulty_extremes_are_nan_safe() {
+        // regression: the previous idiom `partial_cmp(..).expect(..)` panicked
+        // on NaN difficulties; total_cmp must order them deterministically
+        let split: Split =
+            vec![sample(0, 0.3), sample(1, f32::NAN), sample(2, 0.1)].into_iter().collect();
+        assert_eq!(split.easiest().unwrap().label, 2);
+        // NaN sorts above every finite value under total_cmp, so it surfaces
+        // as "hardest" rather than corrupting the minimum
+        assert!(split.hardest().unwrap().difficulty.is_nan());
+        assert!(Split::default().easiest().is_none());
+        assert!(Split::default().hardest().is_none());
     }
 
     #[test]

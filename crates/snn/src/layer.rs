@@ -88,6 +88,13 @@ pub trait Layer: Send + Sync {
         None
     }
 
+    /// Freezes any input-dependent normalization statistics so repeated
+    /// forward passes become pure functions of the parameters (the
+    /// conformance gradient checker needs this: batch-norm EMA updates
+    /// otherwise make the loss depend on evaluation history). Default is a
+    /// no-op; container layers must forward the call to their children.
+    fn freeze_stats(&mut self) {}
+
     /// Deep-copies the layer behind a fresh box (lets [`crate::Snn`]
     /// implement `Clone` despite holding trait objects — e.g. to perturb
     /// several noisy replicas of one trained network).

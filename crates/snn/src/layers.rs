@@ -433,6 +433,13 @@ impl Layer for BatchNorm2d {
         f(&mut self.beta);
     }
 
+    fn freeze_stats(&mut self) {
+        // With zero momentum the EMA update is the identity, so Train-mode
+        // forward normalizes with constants and backward (which already
+        // treats the statistics as constants) is its exact adjoint.
+        self.momentum = 0.0;
+    }
+
     fn kind(&self) -> &'static str {
         "batchnorm2d"
     }
@@ -686,6 +693,16 @@ impl Layer for ResidualBlock {
         for l in &mut self.shortcut {
             l.visit_params(f);
         }
+    }
+
+    fn freeze_stats(&mut self) {
+        for l in &mut self.main {
+            l.freeze_stats();
+        }
+        for l in &mut self.shortcut {
+            l.freeze_stats();
+        }
+        self.join.freeze_stats();
     }
 
     fn kind(&self) -> &'static str {

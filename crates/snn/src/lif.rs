@@ -28,6 +28,17 @@ pub struct LifConfig {
     /// Whether the reset path is detached from the gradient (standard STBP
     /// practice; `true` matches the reference implementations).
     pub detach_reset: bool,
+    /// Optional smooth-spike relaxation temperature `b`.
+    ///
+    /// `None` (the default) keeps the exact Heaviside firing of Eq. 3. With
+    /// `Some(b)` the layer instead emits the smooth step
+    /// `s = ½·(tanh(b·(u − V_th)) + 1)` and backward uses that function's
+    /// exact derivative `½·b·sech²(b·(u − V_th))` in place of the configured
+    /// surrogate. Combined with `detach_reset: false`, BPTT then computes the
+    /// exact gradient of the relaxed network — the property the conformance
+    /// crate's whole-network finite-difference checker relies on. Outputs are
+    /// no longer binary, so this mode is for gradient verification only.
+    pub smooth_spike: Option<f32>,
 }
 
 impl Default for LifConfig {
@@ -38,6 +49,7 @@ impl Default for LifConfig {
             reset: ResetMode::Zero,
             surrogate: Surrogate::Rectangular,
             detach_reset: true,
+            smooth_spike: None,
         }
     }
 }
@@ -54,6 +66,13 @@ impl LifConfig {
         }
         if self.v_th <= 0.0 {
             return Err(SnnError::InvalidConfig(format!("v_th must be positive, got {}", self.v_th)));
+        }
+        if let Some(b) = self.smooth_spike {
+            if !(b > 0.0 && b.is_finite()) {
+                return Err(SnnError::InvalidConfig(format!(
+                    "smooth_spike temperature must be positive and finite, got {b}"
+                )));
+            }
         }
         Ok(())
     }
@@ -127,8 +146,17 @@ impl Layer for LifNeuron {
         let mut spikes = Tensor::zeros(u_pre.dims());
         {
             let s = spikes.data_mut();
-            for (o, &u) in s.iter_mut().zip(u_pre.data()) {
-                *o = if u > v_th { 1.0 } else { 0.0 };
+            match self.config.smooth_spike {
+                None => {
+                    for (o, &u) in s.iter_mut().zip(u_pre.data()) {
+                        *o = if u > v_th { 1.0 } else { 0.0 };
+                    }
+                }
+                Some(b) => {
+                    for (o, &u) in s.iter_mut().zip(u_pre.data()) {
+                        *o = 0.5 * ((b * (u - v_th)).tanh() + 1.0);
+                    }
+                }
             }
         }
         // Reset (Eq. 3 text): zero or subtract.
@@ -168,8 +196,16 @@ impl Layer for LifNeuron {
             let sp = cache.spikes.data();
             let go = grad_out.data();
             let gm = self.grad_membrane.as_ref().map(|t| t.data());
+            let smooth = self.config.smooth_spike;
             for i in 0..n {
-                let surr = sg.grad(up[i], v_th);
+                let surr = match smooth {
+                    None => sg.grad(up[i], v_th),
+                    // exact derivative of the smooth forward step
+                    Some(b) => {
+                        let t = (b * (up[i] - v_th)).tanh();
+                        0.5 * b * (1.0 - t * t)
+                    }
+                };
                 // Path 1: through the spike output.
                 let mut g = go[i] * surr;
                 // Path 2: through the carried membrane u[t] → u_pre[t+1].
@@ -320,6 +356,64 @@ mod tests {
         let g1 = lif.backward(&Tensor::zeros(&[1, 1])).unwrap();
         // carry τ·1.5 = 0.75, times dreset 1 → grad through membrane only
         assert!((g1.data()[0] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn smooth_spike_config_validation() {
+        assert!(LifConfig { smooth_spike: Some(0.0), ..LifConfig::default() }.validate().is_err());
+        assert!(LifConfig { smooth_spike: Some(f32::NAN), ..LifConfig::default() }
+            .validate()
+            .is_err());
+        assert!(LifConfig { smooth_spike: Some(4.0), ..LifConfig::default() }.validate().is_ok());
+    }
+
+    #[test]
+    fn smooth_spike_bptt_is_exact_gradient() {
+        // With the smooth forward and an attached reset the analytic BPTT
+        // gradient must equal a central finite difference of the input.
+        for reset in [ResetMode::Zero, ResetMode::Subtract] {
+            let cfg = LifConfig {
+                tau: 0.5,
+                v_th: 1.0,
+                reset,
+                detach_reset: false,
+                smooth_spike: Some(3.0),
+                ..LifConfig::default()
+            };
+            let steps = 3;
+            let base = [0.9f32, 0.7, 1.2];
+            let run = |inputs: &[f32]| -> f32 {
+                let mut lif = LifNeuron::new(cfg);
+                let mut total = 0.0;
+                for &v in inputs {
+                    let s = lif.forward(&Tensor::full(&[1, 1], v), Mode::Eval).unwrap();
+                    total += s.data()[0];
+                }
+                total
+            };
+            // analytic: sum of spikes over all timesteps, dL/ds_t = 1
+            let mut lif = LifNeuron::new(cfg);
+            for &v in &base {
+                lif.forward(&Tensor::full(&[1, 1], v), Mode::Train).unwrap();
+            }
+            let mut analytic = [0.0f32; 3];
+            for t in (0..steps).rev() {
+                analytic[t] = lif.backward(&Tensor::ones(&[1, 1])).unwrap().data()[0];
+            }
+            let eps = 1e-3;
+            for t in 0..steps {
+                let mut plus = base;
+                plus[t] += eps;
+                let mut minus = base;
+                minus[t] -= eps;
+                let num = (run(&plus) - run(&minus)) / (2.0 * eps);
+                assert!(
+                    (num - analytic[t]).abs() < 1e-3,
+                    "{reset:?} t={t}: numeric {num} vs analytic {}",
+                    analytic[t]
+                );
+            }
+        }
     }
 
     #[test]

@@ -125,6 +125,15 @@ impl Snn {
         self.visit_params(&mut |p| p.zero_grad());
     }
 
+    /// Freezes normalization statistics in every layer (see
+    /// [`Layer::freeze_stats`]); used by the conformance gradient checker to
+    /// make Train-mode forwards pure functions of the parameters.
+    pub fn freeze_norm_stats(&mut self) {
+        for node in &mut self.layers {
+            node.layer.freeze_stats();
+        }
+    }
+
     /// Visits every learnable parameter in the network.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for node in &mut self.layers {

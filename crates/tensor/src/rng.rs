@@ -35,16 +35,29 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
+    ///
+    /// Seeding goes through SplitMix64 so that structured seeds (0, 1, small
+    /// integers, bit masks) still produce well-mixed state. The all-zero
+    /// xoshiro state is a fixed point that would emit zeros forever; SplitMix
+    /// cannot reach it from any seed by construction, but the guard below
+    /// pins that invariant locally instead of relying on it at a distance.
     pub fn seed_from(seed: u64) -> Self {
         let mut s = seed;
-        TensorRng {
-            state: [
-                splitmix64(&mut s),
-                splitmix64(&mut s),
-                splitmix64(&mut s),
-                splitmix64(&mut s),
-            ],
+        let mut state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        if state == [0, 0, 0, 0] {
+            state = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
         }
+        TensorRng { state }
     }
 
     /// Next raw 64-bit word (xoshiro256++).
@@ -142,6 +155,26 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
         }
+    }
+
+    #[test]
+    fn zero_seed_stream_is_not_degenerate() {
+        // seed 0 must behave like any other seed: nonzero internal state,
+        // no all-zero output stream, and decorrelated from neighboring seeds
+        let mut zero = TensorRng::seed_from(0);
+        assert_ne!(zero.state, [0, 0, 0, 0]);
+        let words: Vec<u64> = (0..64).map(|_| zero.next_u64()).collect();
+        assert!(words.iter().any(|&w| w != 0), "all-zero stream from seed 0");
+        let distinct: std::collections::HashSet<u64> = words.iter().copied().collect();
+        assert!(distinct.len() > 60, "seed-0 stream repeats: {} distinct", distinct.len());
+        let mut one = TensorRng::seed_from(1);
+        let other: Vec<u64> = (0..64).map(|_| one.next_u64()).collect();
+        assert_ne!(words, other);
+        // uniform draws stay well-spread, not collapsed to a constant
+        let mut zero = TensorRng::seed_from(0);
+        let xs: Vec<f32> = (0..1000).map(|_| zero.uniform(0.0, 1.0)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!((mean - 0.5).abs() < 0.05, "seed-0 uniform mean {mean}");
     }
 
     #[test]

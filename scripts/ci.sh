@@ -25,4 +25,17 @@ for threads in 1 4; do
     DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor --lib parallel::
 done
 
+# Conformance stage: golden-trace replay against the committed goldens/
+# (fails on any drift — regenerate intentionally changed numerics with
+# `cargo run -p dtsnn-conformance --bin bless`) plus the fixed-seed fuzz
+# smoke, both at 1 and 4 ambient workers; then the whole-network gradient
+# checks.
+for threads in 1 4; do
+    echo "== conformance: golden replay + fuzz smoke (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-conformance --test golden_replay
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-conformance --test fuzz_smoke
+done
+echo "== conformance: whole-network gradient checks =="
+cargo test -q -p dtsnn-conformance --test gradient_check
+
 echo "ci.sh: all green"
