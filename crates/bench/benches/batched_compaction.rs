@@ -1,0 +1,99 @@
+//! Self-timed bench of the active-set compaction engine behind
+//! `DynamicEvaluation::run_batched`.
+//!
+//! The claim under test: once samples exit early, the compacted batched
+//! evaluator does proportionally less work per timestep, so its wall-clock
+//! beats the same batched evaluation forced through the full window — while
+//! staying bitwise identical to the sequential per-sample runner (asserted
+//! before any number is written). Results land in
+//! `bench-results/batched_compaction.json`.
+
+use dtsnn_bench::{json, print_table, time_it, write_json};
+use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy};
+use dtsnn_snn::{vgg_small, ModelConfig, Snn};
+use dtsnn_tensor::{Tensor, TensorRng};
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.3} ms", secs * 1e3)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SAMPLES: usize = 64;
+    const BATCH: usize = 16;
+    const T: usize = 4;
+    let mut rng = TensorRng::seed_from(1);
+    let cfg = ModelConfig::default();
+    let mut net = vgg_small(&cfg, &mut rng)?;
+    let frames: Vec<Vec<Tensor>> =
+        (0..SAMPLES).map(|_| vec![Tensor::randn(&[3, 16, 16], 0.5, 0.3, &mut rng)]).collect();
+    let labels: Vec<usize> = (0..SAMPLES).map(|i| i % cfg.num_classes).collect();
+    let diffs: Vec<f32> = (0..SAMPLES).map(|i| i as f32 / SAMPLES as f32).collect();
+
+    // An untrained net emits near-uniform logits, so the exit split is
+    // forced per policy: max-prob at threshold 0 fires at t=1 for every
+    // sample (best case for compaction — the active set collapses after one
+    // timestep), while an entropy threshold of 1e-6 never fires (worst
+    // case — the full T×batch window runs, compaction never triggers).
+    let early = DynamicInference::new(ExitPolicy::max_prob(0.0)?, T)?;
+    let full = DynamicInference::new(ExitPolicy::entropy(1e-6)?, T)?;
+
+    // parity gate: the compacted batched path must reproduce the sequential
+    // runner bitwise (outcomes, histogram AND spike activity) before its
+    // timings mean anything
+    for runner in [&early, &full] {
+        let seq = DynamicEvaluation::run(&mut net, runner, &frames, &labels, Some(&diffs))?;
+        let bat =
+            DynamicEvaluation::run_batched(&mut net, runner, &frames, &labels, Some(&diffs), BATCH)?;
+        assert_eq!(seq, bat, "batched evaluation diverged from sequential");
+    }
+
+    let bench = |runner: &DynamicInference, net: &mut Snn, batch: usize| {
+        time_it(|| {
+            DynamicEvaluation::run_batched(net, runner, &frames, &labels, Some(&diffs), batch)
+                .unwrap()
+        })
+    };
+    let bat_full = bench(&full, &mut net, BATCH);
+    let bat_early = bench(&early, &mut net, BATCH);
+    // sequential context: the batch-1 runner on the same early-exit policy
+    let seq_early = time_it(|| {
+        DynamicEvaluation::run(&mut net, &early, &frames, &labels, Some(&diffs)).unwrap()
+    });
+
+    let rows = vec![
+        vec!["batched_full_window_T4".into(), fmt_time(bat_full)],
+        vec!["batched_exit_at_t1_compacted".into(), fmt_time(bat_early)],
+        vec!["sequential_exit_at_t1".into(), fmt_time(seq_early)],
+    ];
+    print_table(
+        &format!("batched compaction ({SAMPLES} samples, batch {BATCH}, T={T})"),
+        &["bench", "time"],
+        &rows,
+    );
+    println!("compaction speedup over full window: {:.2}×", bat_full / bat_early);
+
+    assert!(
+        bat_early < bat_full,
+        "early exits must reduce batched wall-clock ({bat_early}s !< {bat_full}s)"
+    );
+
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let doc = json!({
+        "host_cores": host_cores,
+        "samples": SAMPLES,
+        "batch_size": BATCH,
+        "max_timesteps": T,
+        "batched_full_window_secs": bat_full,
+        "batched_exit_at_t1_secs": bat_early,
+        "sequential_exit_at_t1_secs": seq_early,
+        "compaction_speedup_over_full_window": bat_full / bat_early,
+        "bitwise_equal_to_sequential": true,
+    });
+    let path = write_json("batched_compaction", &doc)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -21,9 +21,15 @@
 //! 5. **Checkpoint round-trip** — saving a network and loading it into a
 //!    differently-initialized clone of the same architecture reproduces the
 //!    original's inference outputs bitwise.
+//! 6. **Compacted batched evaluation ≡ sequential** — the active-set
+//!    compaction engine behind [`DynamicEvaluation::run_batched`] must
+//!    reproduce the per-sample runner bitwise: outcomes, T̂ histogram AND
+//!    accumulated spike activity, under 1 worker and under 4.
 
 use dtsnn_bench::Arch;
-use dtsnn_core::{static_inference, DynamicInference, DynamicOutcome, ExitPolicy};
+use dtsnn_core::{
+    static_inference, DynamicEvaluation, DynamicInference, DynamicOutcome, ExitPolicy,
+};
 use dtsnn_imc::{quantize_dequantize, ChipMapping, DeviceNoise, HardwareConfig};
 use dtsnn_snn::{load_params, save_params, LifConfig, Mode, ModelConfig, Snn};
 use dtsnn_tensor::{parallel, Tensor, TensorRng};
@@ -248,6 +254,40 @@ fn oracle_checkpoint_roundtrip(case: &FuzzCase) -> Result<(), String> {
     Ok(())
 }
 
+fn oracle_batched_compaction_equals_sequential(case: &FuzzCase) -> Result<(), String> {
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(case.theta).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    let samples = 5usize;
+    let frames: Vec<Vec<Tensor>> =
+        (0..samples).map(|k| vec![case.frame(0xBA7C40 + k as u64)]).collect();
+    let labels: Vec<usize> = (0..samples).map(|k| k % case.classes).collect();
+    // real difficulty values: a NaN placeholder would defeat the equality check
+    let diffs: Vec<f32> = (0..samples).map(|k| k as f32 / samples as f32).collect();
+    for threads in [1usize, 4] {
+        let (seq, bat) = parallel::with_threads(threads, || -> Result<_, String> {
+            let mut net = case.build(5)?;
+            let seq = DynamicEvaluation::run(&mut net, &runner, &frames, &labels, Some(&diffs))
+                .map_err(|e| e.to_string())?;
+            let mut net = case.build(5)?;
+            let bat = DynamicEvaluation::run_batched(
+                &mut net, &runner, &frames, &labels, Some(&diffs), 2,
+            )
+            .map_err(|e| e.to_string())?;
+            Ok((seq, bat))
+        })?;
+        if seq != bat {
+            return Err(format!(
+                "{threads}-worker batched evaluation diverges from sequential \
+                 (outcomes/histogram/activity): sequential {seq:?} vs batched {bat:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs every oracle against `case`, returning the first violation.
 ///
 /// # Errors
@@ -259,6 +299,8 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     oracle_noiseless_device_is_quantization(case).map_err(|e| format!("σ=0≡quantize: {e}"))?;
     oracle_mapping_invariants(case).map_err(|e| format!("mapping: {e}"))?;
     oracle_checkpoint_roundtrip(case).map_err(|e| format!("checkpoint: {e}"))?;
+    oracle_batched_compaction_equals_sequential(case)
+        .map_err(|e| format!("batched-compaction≡sequential: {e}"))?;
     Ok(())
 }
 

@@ -17,8 +17,9 @@
 //! - **Differential fuzzing** ([`fuzz`]) — seeded random configurations
 //!   asserting cross-path equivalences (never-exit DT-SNN ≡ static SNN,
 //!   thread-count invariance, σ = 0 device reads ≡ pure quantization,
-//!   mapping invariants, checkpoint round-trips), with failing cases shrunk
-//!   to a minimal reproduction and reported by seed.
+//!   mapping invariants, checkpoint round-trips, compacted batched
+//!   evaluation ≡ sequential evaluation), with failing cases shrunk to a
+//!   minimal reproduction and reported by seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -104,20 +104,28 @@ impl DynamicEvaluation {
         })
     }
 
-    /// Batched variant of [`DynamicEvaluation::run`]: forwards whole batches
-    /// for the full window and derives each sample's exit timestep from the
-    /// per-timestep logits offline.
+    /// Batched variant of [`DynamicEvaluation::run`], built on **active-set
+    /// compaction**: each chunk of up to `batch_size` samples is forwarded
+    /// one timestep at a time, the exit policy is scored per batch row, and
+    /// rows whose policy fires are retired — their prediction, T̂ and spike
+    /// activity are recorded at the exit timestep, and the surviving rows of
+    /// both the input frames and all carried layer state (LIF membranes, via
+    /// [`Snn::compact_batch`]) are physically gathered into a smaller batch.
     ///
-    /// Because evaluation is deterministic, the per-sample outcomes are
-    /// **identical** to the sequential runner's — batching only changes
-    /// wall-clock cost. Two caveats: spike activity is measured over the
-    /// full window for every sample (the sequential path stops measuring at
-    /// each sample's exit), and compute is not actually saved, so use the
-    /// sequential path for wall-clock throughput claims (Table III).
+    /// Later timesteps therefore do proportionally less matmul/conv work
+    /// (per-timestep cost decays with the exit CDF), and activity accounting
+    /// stops at each sample's exit, so the per-sample outcomes **and** the
+    /// accumulated [`SpikeActivity`] are bitwise identical to the sequential
+    /// runner's, for any `batch_size` and any `DTSNN_THREADS` setting.
+    ///
+    /// Like the sequential path, each sample supplies either one frame
+    /// (static input) or exactly `T` frames (event data); samples of both
+    /// kinds may share a batch.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::BadInput`] for mismatched inputs.
+    /// Returns [`CoreError::BadInput`] for mismatched inputs or frame
+    /// counts.
     pub fn run_batched(
         network: &mut Snn,
         runner: &DynamicInference,
@@ -138,69 +146,116 @@ impl DynamicEvaluation {
             return Err(CoreError::BadInput("batch_size must be nonzero".into()));
         }
         let t_max = runner.max_timesteps();
+        // the same 1-or-T frame-count contract the sequential runner enforces
+        for (i, f) in frames.iter().enumerate() {
+            if f.len() != 1 && f.len() != t_max {
+                return Err(CoreError::BadInput(format!(
+                    "sample {i}: expected 1 or {t_max} frames, got {}",
+                    f.len()
+                )));
+            }
+        }
         let policy = runner.policy();
         let _ = network.take_activity();
+        // Per-sample exit records and raw activity sums. Activity is folded
+        // per sample in f64 (timestep order within a sample) and absorbed in
+        // sample-index order at the end — the exact accumulation chain of the
+        // sequential harness, so the resulting SpikeActivity is bitwise equal.
+        let mut used_of = vec![0usize; frames.len()];
+        let mut pred_of = vec![0usize; frames.len()];
+        let mut sums_of: Vec<Vec<f64>> = vec![Vec::new(); frames.len()];
+        let order: Vec<usize> = (0..frames.len()).collect();
+        for chunk in order.chunks(batch_size) {
+            network.reset_state();
+            // sample indices still running, in batch-row order
+            let mut active: Vec<usize> = chunk.to_vec();
+            // per-active-row accumulated logits (the Eq. 5 numerator)
+            let mut accs: Vec<Vec<f32>> = vec![Vec::new(); active.len()];
+            for t in 1..=t_max {
+                // stack the active rows' frame for this timestep
+                let views: Vec<Tensor> = active
+                    .iter()
+                    .map(|&i| {
+                        let fs = &frames[i];
+                        crate::inference::to_batch1(if fs.len() == 1 { &fs[0] } else { &fs[t - 1] })
+                    })
+                    .collect::<Result<_>>()?;
+                let refs: Vec<&Tensor> = views.iter().collect();
+                let input = Tensor::concat_axis0(&refs)?;
+                let logits = network.forward_timestep(&input, Mode::Eval)?;
+                let classes = logits.dims()[1];
+                // row layer densities, copied out so the network can be
+                // mutated below
+                let layer_rows: Vec<Vec<f32>> = network
+                    .last_spike_row_densities()?
+                    .into_iter()
+                    .map(|s| s.to_vec())
+                    .collect();
+                let inv_t = 1.0 / t as f32;
+                let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+                for (row, &i) in active.iter().enumerate() {
+                    // fold this timestep's activity into the sample's sums
+                    let sums = &mut sums_of[i];
+                    if sums.is_empty() {
+                        sums.resize(layer_rows.len(), 0.0);
+                    }
+                    for (acc, layer) in sums.iter_mut().zip(&layer_rows) {
+                        *acc += layer[row] as f64;
+                    }
+                    // Eq. 5 running mean of this row's logits; `+= l` and
+                    // `* inv_t` reproduce the sequential `axpy(1.0, …)` /
+                    // `scale(1/t)` chain bitwise
+                    let l_row = &logits.data()[row * classes..(row + 1) * classes];
+                    let acc = &mut accs[row];
+                    if acc.is_empty() {
+                        acc.extend_from_slice(l_row);
+                    } else {
+                        for (a, &l) in acc.iter_mut().zip(l_row) {
+                            *a += l;
+                        }
+                    }
+                    let f_t =
+                        Tensor::from_vec(acc.iter().map(|&a| a * inv_t).collect(), &[1, classes])?;
+                    let probs = dtsnn_tensor::softmax_rows(&f_t)?;
+                    if policy.should_exit(probs.data()) || t == t_max {
+                        used_of[i] = t;
+                        pred_of[i] = probs.row(0)?.argmax()?;
+                    } else {
+                        keep.push(row);
+                    }
+                }
+                // retire exited rows: gather the survivors' accumulators and
+                // every layer's carried batch state
+                if keep.len() < active.len() {
+                    if keep.is_empty() {
+                        break;
+                    }
+                    network.compact_batch(&keep)?;
+                    active = keep.iter().map(|&r| active[r]).collect();
+                    accs = keep.iter().map(|&r| std::mem::take(&mut accs[r])).collect();
+                }
+            }
+        }
+        // forward_timestep accumulated batch-level densities on `network`
+        // during the loop; discard them and rebuild from the per-sample sums,
+        // folded in sample-index order exactly like the sequential harness
+        let _ = network.take_raw_activity();
         let mut histogram = vec![0usize; t_max];
         let mut samples = Vec::with_capacity(frames.len());
         let mut correct_total = 0usize;
         let mut timestep_total = 0usize;
-        let order: Vec<usize> = (0..frames.len()).collect();
-        for chunk in order.chunks(batch_size) {
-            // stack this batch's frames per timestep
-            let t_frames = frames[chunk[0]].len();
-            for &i in chunk {
-                if frames[i].len() != t_frames {
-                    return Err(CoreError::BadInput(
-                        "mixed static/temporal samples in one batch".into(),
-                    ));
-                }
-            }
-            let batch_frames = (0..t_frames)
-                .map(|t| {
-                    let views: Vec<Tensor> = chunk
-                        .iter()
-                        .map(|&i| {
-                            let f = &frames[i][t];
-                            let mut d = vec![1];
-                            d.extend_from_slice(f.dims());
-                            f.reshape(&d).map_err(CoreError::from)
-                        })
-                        .collect::<Result<_>>()?;
-                    let refs: Vec<&Tensor> = views.iter().collect();
-                    Tensor::concat_axis0(&refs).map_err(CoreError::from)
-                })
-                .collect::<Result<Vec<_>>>()?;
-            let outputs = network.forward_sequence(&batch_frames, t_max, Mode::Eval)?;
-            let classes = outputs[0].dims()[1];
-            // per-sample running means → exit decision, offline
-            for (row, &i) in chunk.iter().enumerate() {
-                let mut acc = vec![0.0f32; classes];
-                let mut decided = None;
-                for (t, out) in outputs.iter().enumerate() {
-                    let logits = &out.data()[row * classes..(row + 1) * classes];
-                    for (a, &l) in acc.iter_mut().zip(logits) {
-                        *a += l;
-                    }
-                    let f_t: Vec<f32> = acc.iter().map(|a| a / (t + 1) as f32).collect();
-                    let f_t = Tensor::from_vec(f_t, &[1, classes])?;
-                    let probs = dtsnn_tensor::softmax_rows(&f_t)?;
-                    if policy.should_exit(probs.data()) || t + 1 == t_max {
-                        let pred = probs.row(0)?.argmax()?;
-                        decided = Some((t + 1, pred));
-                        break;
-                    }
-                }
-                let (used, pred) = decided.expect("loop decides by t_max");
-                let correct = pred == labels[i];
-                correct_total += correct as usize;
-                timestep_total += used;
-                histogram[used - 1] += 1;
-                samples.push(DynamicSampleOutcome {
-                    timesteps_used: used,
-                    correct,
-                    difficulty: difficulties.map(|d| d[i]).unwrap_or(f32::NAN),
-                });
-            }
+        for i in 0..frames.len() {
+            let used = used_of[i];
+            let correct = pred_of[i] == labels[i];
+            network.absorb_raw_activity(&sums_of[i], used);
+            correct_total += correct as usize;
+            timestep_total += used;
+            histogram[used - 1] += 1;
+            samples.push(DynamicSampleOutcome {
+                timesteps_used: used,
+                correct,
+                difficulty: difficulties.map(|d| d[i]).unwrap_or(f32::NAN),
+            });
         }
         let n = frames.len() as f32;
         Ok(DynamicEvaluation {
@@ -275,13 +330,16 @@ impl StaticEvaluation {
                     let outputs = net.forward_sequence(&batched, max_timesteps, Mode::Eval)?;
                     let mut acc: Option<Tensor> = None;
                     let mut correct_at_t = Vec::with_capacity(max_timesteps);
-                    for out in &outputs {
+                    for (t, out) in outputs.iter().enumerate() {
                         match &mut acc {
                             Some(a) => a.axpy(1.0, out)?,
                             None => acc = Some(out.clone()),
                         }
-                        let pred = acc.as_ref().expect("set above").row(0)?.argmax()?;
-                        correct_at_t.push(pred == labels[i]);
+                        // predict from the Eq. 5 running mean at budget t
+                        // (argmax-equivalent to the raw sum)
+                        let mean =
+                            acc.as_ref().expect("set above").scale(1.0 / (t + 1) as f32);
+                        correct_at_t.push(mean.row(0)?.argmax()? == labels[i]);
                     }
                     let (sums, obs) = net.take_raw_activity();
                     Ok((correct_at_t, sums, obs))
@@ -386,13 +444,18 @@ mod tests {
         assert!(StaticEvaluation::run(&mut net, &frames, &labels, 0).is_err());
     }
 
+    /// Entropy threshold that splits the tiny-net fixture between early and
+    /// full-window exits, keeping the parity tests non-vacuous.
+    const THETA_MIXED: f32 = 0.986;
+
     #[test]
     fn batched_evaluation_matches_sequential() {
-        // Evaluation is deterministic, so the batched path must reproduce
-        // the per-sample runner's outcomes exactly.
+        // Evaluation is deterministic and the compaction engine retires rows
+        // at their exact exit timestep, so the batched path must reproduce
+        // the per-sample runner bitwise — outcomes AND spike activity.
         let (frames, labels) = tiny_data(13, 21); // odd count exercises a ragged tail batch
         let diffs: Vec<f32> = (0..13).map(|i| i as f32 / 13.0).collect();
-        let runner = DynamicInference::new(ExitPolicy::entropy(0.55).unwrap(), 4).unwrap();
+        let runner = DynamicInference::new(ExitPolicy::entropy(THETA_MIXED).unwrap(), 4).unwrap();
         let mut net_a = tiny_net(22);
         let seq =
             DynamicEvaluation::run(&mut net_a, &runner, &frames, &labels, Some(&diffs)).unwrap();
@@ -401,10 +464,93 @@ mod tests {
             &mut net_b, &runner, &frames, &labels, Some(&diffs), 4,
         )
         .unwrap();
-        assert_eq!(seq.accuracy, bat.accuracy);
-        assert_eq!(seq.avg_timesteps, bat.avg_timesteps);
-        assert_eq!(seq.timestep_histogram, bat.timestep_histogram);
-        assert_eq!(seq.samples, bat.samples);
+        assert_eq!(seq, bat); // every field, including SpikeActivity
+        // non-vacuous: the threshold must actually mix exit timesteps
+        let h = &bat.timestep_histogram;
+        assert!(h[..3].iter().sum::<usize>() > 0, "no early exits: {h:?}");
+        assert!(h[1..].iter().sum::<usize>() > 0, "every sample exited at t=1: {h:?}");
+    }
+
+    #[test]
+    fn batched_spike_activity_matches_sequential() {
+        // Regression pin for the Fig. 5/7 energy bias: the pre-compaction
+        // batched evaluator measured full-window activity for every sample,
+        // so equal outcomes did NOT imply equal SpikeActivity. It must now.
+        let (frames, labels) = tiny_data(11, 41);
+        let runner = DynamicInference::new(ExitPolicy::entropy(THETA_MIXED).unwrap(), 4).unwrap();
+        let mut net_a = tiny_net(42);
+        let seq = DynamicEvaluation::run(&mut net_a, &runner, &frames, &labels, None).unwrap();
+        for batch_size in [1, 3, 11, 64] {
+            let mut net_b = tiny_net(42);
+            let bat = DynamicEvaluation::run_batched(
+                &mut net_b, &runner, &frames, &labels, None, batch_size,
+            )
+            .unwrap();
+            assert_eq!(seq.activity, bat.activity, "batch_size={batch_size}");
+            assert_eq!(seq.timestep_histogram, bat.timestep_histogram);
+        }
+        // accounting stops at each sample's exit: observations = Σ T̂, which
+        // is strictly below the full-window total when anything exits early
+        let total: usize =
+            seq.samples.iter().map(|s| s.timesteps_used).sum();
+        assert_eq!(seq.activity.observations, total);
+        assert!(total < 4 * frames.len(), "θ produced no early exits");
+    }
+
+    #[test]
+    fn batched_rejects_partial_frame_counts() {
+        // 1 < len(frames[i]) < T must fail exactly like the sequential
+        // runner, not silently run a shortened window.
+        let (mut frames, labels) = tiny_data(4, 25);
+        frames[2] = vec![frames[2][0].clone(); 2]; // 2 frames under a T=4 window
+        let mut net = tiny_net(26);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.5).unwrap(), 4).unwrap();
+        assert!(DynamicEvaluation::run(&mut net, &runner, &frames, &labels, None).is_err());
+        assert!(
+            DynamicEvaluation::run_batched(&mut net, &runner, &frames, &labels, None, 2).is_err()
+        );
+    }
+
+    #[test]
+    fn batched_accepts_mixed_static_and_temporal_samples() {
+        // A batch may mix 1-frame (static) and T-frame (event) samples; the
+        // per-row frame selection must reproduce the sequential runner.
+        let mut rng = TensorRng::seed_from(51);
+        let frames: Vec<Vec<Tensor>> = (0..7)
+            .map(|i| {
+                let n = if i % 2 == 0 { 1 } else { 4 };
+                (0..n).map(|_| Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng)).collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..7).map(|i| i % 3).collect();
+        let diffs: Vec<f32> = (0..7).map(|i| i as f32 / 7.0).collect();
+        let runner = DynamicInference::new(ExitPolicy::entropy(THETA_MIXED).unwrap(), 4).unwrap();
+        let mut net_a = tiny_net(52);
+        let seq =
+            DynamicEvaluation::run(&mut net_a, &runner, &frames, &labels, Some(&diffs)).unwrap();
+        let mut net_b = tiny_net(52);
+        let bat = DynamicEvaluation::run_batched(
+            &mut net_b, &runner, &frames, &labels, Some(&diffs), 3,
+        )
+        .unwrap();
+        assert_eq!(seq, bat);
+    }
+
+    #[test]
+    fn batched_evaluation_is_thread_count_invariant() {
+        let (frames, labels) = tiny_data(9, 61);
+        let diffs: Vec<f32> = (0..9).map(|i| i as f32 / 9.0).collect();
+        let runner = DynamicInference::new(ExitPolicy::entropy(THETA_MIXED).unwrap(), 4).unwrap();
+        let run = || {
+            let mut net = tiny_net(62);
+            DynamicEvaluation::run_batched(&mut net, &runner, &frames, &labels, Some(&diffs), 4)
+                .unwrap()
+        };
+        let serial = dtsnn_tensor::parallel::with_threads(1, run);
+        for threads in [2, 4] {
+            let par = dtsnn_tensor::parallel::with_threads(threads, run);
+            assert_eq!(serial, par, "batched eval diverged at {threads} threads");
+        }
     }
 
     #[test]

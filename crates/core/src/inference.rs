@@ -155,11 +155,12 @@ impl DynamicInference {
 }
 
 /// Runs a sample for exactly `timesteps` steps (the static-SNN protocol),
-/// returning the prediction from the averaged output.
+/// returning the prediction from the time-averaged output — the argmax of
+/// the Eq. 5 running mean `f_T(x) = (1/T)·Σ_t h(x, t)` at the full window.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::BadInput`] for malformed frames.
+/// Returns [`CoreError::BadInput`] for malformed frames or a zero window.
 pub fn static_inference(
     network: &mut Snn,
     frames: &[Tensor],
@@ -168,18 +169,24 @@ pub fn static_inference(
     if frames.is_empty() {
         return Err(CoreError::BadInput("empty frame sequence".into()));
     }
+    if timesteps == 0 {
+        return Err(CoreError::BadInput("timesteps must be nonzero".into()));
+    }
     let batched: Vec<Tensor> = frames.iter().map(to_batch1).collect::<Result<_>>()?;
     let outputs = network.forward_sequence(&batched, timesteps, Mode::Eval)?;
-    let mut mean = outputs[0].clone();
+    let mut sum = outputs[0].clone();
     for o in &outputs[1..] {
-        mean.axpy(1.0, o)?;
+        sum.axpy(1.0, o)?;
     }
+    // Eq. 5 mean over the window; argmax-equivalent to the raw sum, but the
+    // computed quantity is now the one the docs (and the paper) name
+    let mean = sum.scale(1.0 / outputs.len() as f32);
     Ok(mean.row(0)?.argmax()?)
 }
 
 /// Reshapes a `[c, h, w]` frame to a batch-of-one `[1, c, h, w]` (frames
 /// that already carry a batch axis pass through).
-fn to_batch1(frame: &Tensor) -> Result<Tensor> {
+pub(crate) fn to_batch1(frame: &Tensor) -> Result<Tensor> {
     if frame.dims().len() == 4 {
         return Ok(frame.clone());
     }
@@ -241,6 +248,28 @@ mod tests {
         let out = runner.run(&mut net, &[frame]).unwrap();
         assert_eq!(out.timesteps_used, 1);
         assert!(out.exited_early);
+    }
+
+    #[test]
+    fn static_inference_prediction_comes_from_the_mean_output() {
+        // The returned argmax must be the argmax of the Eq. 5 running mean
+        // (identical to the raw sum's argmax, but computed from the mean).
+        let mut net = tiny_net(20);
+        let mut rng = TensorRng::seed_from(21);
+        let frame = Tensor::randn(&[1, 2, 2], 0.5, 0.5, &mut rng);
+        let pred = static_inference(&mut net, std::slice::from_ref(&frame), 4).unwrap();
+        let mut net2 = tiny_net(20);
+        let outputs = net2
+            .forward_sequence(&[to_batch1(&frame).unwrap()], 4, Mode::Eval)
+            .unwrap();
+        let mut sum = outputs[0].clone();
+        for o in &outputs[1..] {
+            sum.axpy(1.0, o).unwrap();
+        }
+        let mean = sum.scale(1.0 / 4.0);
+        assert_eq!(pred, mean.row(0).unwrap().argmax().unwrap());
+        assert_eq!(pred, sum.row(0).unwrap().argmax().unwrap());
+        assert!(static_inference(&mut net, &[frame], 0).is_err());
     }
 
     #[test]

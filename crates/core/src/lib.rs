@@ -49,7 +49,10 @@ pub use harness::{DynamicEvaluation, DynamicSampleOutcome, StaticEvaluation};
 pub use inference::{static_inference, DynamicInference, DynamicOutcome, DynamicTrace, TimestepTrace};
 pub use policy::ExitPolicy;
 pub use sweep::{SweepPoint, ThresholdSweep};
-pub use throughput::{measure_dynamic_throughput, measure_throughput, ThroughputReport};
+pub use throughput::{
+    measure_batched_dynamic_throughput, measure_dynamic_throughput, measure_throughput,
+    ThroughputReport,
+};
 pub use visualize::{ascii_render, bucket_by_timesteps};
 
 /// Crate-local result alias.

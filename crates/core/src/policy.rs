@@ -76,20 +76,28 @@ impl ExitPolicy {
     pub fn score(&self, probabilities: &[f32]) -> f32 {
         match self {
             ExitPolicy::Entropy { .. } => exact_normalized_entropy(probabilities),
+            // total_cmp-based reductions: `f32::max` and `>` silently drop
+            // NaN operands, which would let a poisoned probability vector
+            // masquerade as confident. Under total order NaN ranks above
+            // every real, so a NaN input surfaces as a NaN score and
+            // `should_exit` (a `>` comparison) stays false — the safe
+            // full-window fallback.
             ExitPolicy::MaxProb { .. } => {
-                probabilities.iter().copied().fold(0.0, f32::max)
+                probabilities.iter().copied().max_by(f32::total_cmp).unwrap_or(0.0)
             }
             ExitPolicy::Margin { .. } => {
-                let (mut top, mut second) = (0.0f32, 0.0f32);
+                let (mut top, mut second) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
                 for &p in probabilities {
-                    if p > top {
+                    if p.total_cmp(&top).is_gt() {
                         second = top;
                         top = p;
-                    } else if p > second {
+                    } else if p.total_cmp(&second).is_gt() {
                         second = p;
                     }
                 }
-                top - second
+                // degenerate (< 2 entry) inputs fall back to the historical
+                // floor of zero; a NaN top still propagates into the score
+                top - second.max(0.0)
             }
         }
     }
@@ -169,6 +177,25 @@ mod tests {
         // entropy of uniform = 1 which is never < θ ≤ 1
         let p = ExitPolicy::entropy(1.0).unwrap();
         assert!(!p.should_exit(&[0.25; 4]));
+    }
+
+    #[test]
+    fn nan_probabilities_poison_the_score_and_never_exit() {
+        let poisoned = [0.9, f32::NAN, 0.05];
+        let max_prob = ExitPolicy::max_prob(0.1).unwrap();
+        let margin = ExitPolicy::margin(0.1).unwrap();
+        // pre-fix, fold(0.0, f32::max) and `>` dropped the NaN and these
+        // vectors looked maximally confident
+        assert!(max_prob.score(&poisoned).is_nan());
+        assert!(margin.score(&poisoned).is_nan());
+        assert!(!max_prob.should_exit(&poisoned));
+        assert!(!margin.should_exit(&poisoned));
+        // all-NaN input behaves the same way
+        assert!(!max_prob.should_exit(&[f32::NAN; 3]));
+        assert!(!margin.should_exit(&[f32::NAN; 3]));
+        // finite inputs keep their historical scores
+        assert_eq!(max_prob.score(&[0.6, 0.3, 0.1]), 0.6);
+        assert!((margin.score(&[0.6, 0.25, 0.15]) - 0.35).abs() < 1e-6);
     }
 
     #[test]

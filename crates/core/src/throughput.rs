@@ -4,12 +4,18 @@
 //! protocol runs on the CPU with our engine. The claim shape is preserved:
 //! throughput falls roughly linearly with timesteps, and DT-SNN recovers
 //! near-1-timestep throughput at full-window accuracy.
+//!
+//! Measurement protocol: all input validation and per-worker network clones
+//! happen **before** the clock starts, so the timed span covers inference
+//! work only. Reported accuracy and mean timesteps are bitwise identical to
+//! the corresponding evaluation harness.
 
 use crate::harness::DynamicEvaluation;
 use crate::inference::{static_inference, DynamicInference};
 use crate::{CoreError, Result};
 use dtsnn_snn::Snn;
 use dtsnn_tensor::{parallel, Tensor};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Throughput and accuracy of one inference configuration.
@@ -25,35 +31,82 @@ pub struct ThroughputReport {
     pub avg_timesteps: f32,
 }
 
+fn validate_inputs(
+    frames: &[Vec<Tensor>],
+    labels: &[usize],
+    max_timesteps: usize,
+) -> Result<()> {
+    if frames.is_empty() || frames.len() != labels.len() {
+        return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
+    }
+    if max_timesteps == 0 {
+        return Err(CoreError::BadInput("timesteps must be nonzero".into()));
+    }
+    for (i, f) in frames.iter().enumerate() {
+        if f.len() != 1 && f.len() != max_timesteps {
+            return Err(CoreError::BadInput(format!(
+                "sample {i}: expected 1 or {max_timesteps} frames, got {}",
+                f.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// One pre-cloned network per worker, built outside the timed span so the
+/// clock measures inference rather than `Snn::clone`. Workers check a clone
+/// out of the pool on chunk entry and return it on exit; all clones are
+/// identical, so pool order does not affect results.
+struct ClonePool(Mutex<Vec<Snn>>);
+
+impl ClonePool {
+    fn build(proto: &Snn, samples: usize) -> Self {
+        let workers = parallel::num_threads().min(samples).max(1);
+        ClonePool(Mutex::new((0..workers).map(|_| proto.clone()).collect()))
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Snn) -> R) -> R {
+        let mut net = self
+            .0
+            .lock()
+            .expect("clone pool poisoned")
+            .pop()
+            .expect("pool sized to worker count");
+        let out = f(&mut net);
+        self.0.lock().expect("clone pool poisoned").push(net);
+        out
+    }
+}
+
 /// Measures batch-1 throughput of a static SNN at a fixed `timesteps`.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::BadInput`] for empty or mismatched data.
+/// Returns [`CoreError::BadInput`] for empty or mismatched data, zero
+/// `timesteps`, or per-sample frame counts other than 1 or `timesteps`.
 pub fn measure_throughput(
     network: &mut Snn,
     frames: &[Vec<Tensor>],
     labels: &[usize],
     timesteps: usize,
 ) -> Result<ThroughputReport> {
-    if frames.is_empty() || frames.len() != labels.len() {
-        return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
-    }
+    validate_inputs(frames, labels, timesteps)?;
+    let pool = ClonePool::build(network, frames.len());
+    let indices: Vec<usize> = (0..frames.len()).collect();
     let start = Instant::now();
-    // Per-sample fan-out over cloned networks; predictions fold back in
+    // Per-sample fan-out over pooled clones; predictions fold back in
     // sample-index order, so accuracy is thread-count invariant while the
     // wall clock shrinks with DTSNN_THREADS.
-    let indices: Vec<usize> = (0..frames.len()).collect();
-    let proto: &Snn = network;
     let preds = parallel::map_chunks(&indices, |_, chunk| {
-        let mut net = proto.clone();
-        chunk.iter().map(|&i| static_inference(&mut net, &frames[i], timesteps)).collect()
+        pool.with(|net| {
+            chunk.iter().map(|&i| static_inference(net, &frames[i], timesteps)).collect()
+        })
     });
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
     let mut correct = 0usize;
     for (pred, &label) in preds.into_iter().zip(labels) {
         correct += (pred? == label) as usize;
     }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
     Ok(ThroughputReport {
         label: format!("static T={timesteps}"),
         images_per_second: frames.len() as f64 / secs,
@@ -66,18 +119,74 @@ pub fn measure_throughput(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::BadInput`] for empty or mismatched data.
+/// Returns [`CoreError::BadInput`] for empty or mismatched data or invalid
+/// per-sample frame counts — raised before the clock starts.
 pub fn measure_dynamic_throughput(
     network: &mut Snn,
     runner: &DynamicInference,
     frames: &[Vec<Tensor>],
     labels: &[usize],
 ) -> Result<ThroughputReport> {
+    validate_inputs(frames, labels, runner.max_timesteps())?;
+    let pool = ClonePool::build(network, frames.len());
+    let indices: Vec<usize> = (0..frames.len()).collect();
     let start = Instant::now();
-    let eval = DynamicEvaluation::run(network, runner, frames, labels, None)?;
+    let per_sample = parallel::map_chunks(&indices, |_, chunk| {
+        pool.with(|net| {
+            chunk
+                .iter()
+                .map(|&i| -> Result<(usize, bool)> {
+                    let outcome = runner.run(net, &frames[i])?;
+                    Ok((outcome.timesteps_used, outcome.prediction == labels[i]))
+                })
+                .collect()
+        })
+    });
     let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let mut correct = 0usize;
+    let mut timestep_total = 0usize;
+    for res in per_sample {
+        let (used, ok) = res?;
+        correct += ok as usize;
+        timestep_total += used;
+    }
+    let n = frames.len() as f32;
     Ok(ThroughputReport {
         label: format!("DT-SNN {}", runner.policy().name()),
+        images_per_second: frames.len() as f64 / secs,
+        accuracy: correct as f32 / n,
+        avg_timesteps: timestep_total as f32 / n,
+    })
+}
+
+/// Measures throughput of the compacted batched DT-SNN evaluator
+/// ([`DynamicEvaluation::run_batched`]) at the given `batch_size`.
+///
+/// Accuracy and mean timesteps are bitwise identical to the batch-1 dynamic
+/// path; the wall clock reflects the active-set compaction engine, whose
+/// per-timestep work decays as samples exit early.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadInput`] for empty or mismatched data, invalid
+/// per-sample frame counts, or zero `batch_size` — raised before the clock
+/// starts.
+pub fn measure_batched_dynamic_throughput(
+    network: &mut Snn,
+    runner: &DynamicInference,
+    frames: &[Vec<Tensor>],
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<ThroughputReport> {
+    validate_inputs(frames, labels, runner.max_timesteps())?;
+    if batch_size == 0 {
+        return Err(CoreError::BadInput("batch_size must be nonzero".into()));
+    }
+    let start = Instant::now();
+    let eval = DynamicEvaluation::run_batched(network, runner, frames, labels, None, batch_size)?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    Ok(ThroughputReport {
+        label: format!("DT-SNN {} (batched b={batch_size})", runner.policy().name()),
         images_per_second: frames.len() as f64 / secs,
         accuracy: eval.accuracy,
         avg_timesteps: eval.avg_timesteps,
@@ -132,6 +241,42 @@ mod tests {
         let dt = measure_dynamic_throughput(&mut net, &runner, &frames, &labels).unwrap();
         assert!(dt.avg_timesteps >= 1.0 && dt.avg_timesteps <= 8.0);
         assert!(dt.images_per_second > 0.0);
+    }
+
+    #[test]
+    fn dynamic_throughput_accuracy_matches_evaluation_harness() {
+        let (frames, labels) = data(24);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.9).unwrap(), 4).unwrap();
+        let mut net = tiny_net(5);
+        let eval = DynamicEvaluation::run(&mut net, &runner, &frames, &labels, None).unwrap();
+        let mut net = tiny_net(5);
+        let dt = measure_dynamic_throughput(&mut net, &runner, &frames, &labels).unwrap();
+        assert_eq!(dt.accuracy, eval.accuracy);
+        assert_eq!(dt.avg_timesteps, eval.avg_timesteps);
+        let mut net = tiny_net(5);
+        let bt =
+            measure_batched_dynamic_throughput(&mut net, &runner, &frames, &labels, 8).unwrap();
+        assert_eq!(bt.accuracy, eval.accuracy);
+        assert_eq!(bt.avg_timesteps, eval.avg_timesteps);
+        assert!(bt.label.contains("batched b=8"));
+    }
+
+    #[test]
+    fn validation_happens_before_the_clock() {
+        // invalid inputs error out rather than being timed mid-measurement
+        let mut net = tiny_net(4);
+        let (mut frames, labels) = data(4);
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.9).unwrap(), 4).unwrap();
+        assert!(measure_throughput(&mut net, &frames, &labels, 0).is_err());
+        assert!(
+            measure_batched_dynamic_throughput(&mut net, &runner, &frames, &labels, 0).is_err()
+        );
+        frames[1] = vec![frames[1][0].clone(); 2]; // 2 frames under a T=4 window
+        assert!(measure_throughput(&mut net, &frames, &labels, 4).is_err());
+        assert!(measure_dynamic_throughput(&mut net, &runner, &frames, &labels).is_err());
+        assert!(
+            measure_batched_dynamic_throughput(&mut net, &runner, &frames, &labels, 2).is_err()
+        );
     }
 
     #[test]

@@ -88,6 +88,37 @@ pub trait Layer: Send + Sync {
         None
     }
 
+    /// Per-axis-0-row spike density of the most recent output, if this layer
+    /// emits spikes (aligned with [`Layer::last_spike_density`]: the batch
+    /// mean of these rows over integer nonzero counts equals the scalar
+    /// density bitwise).
+    ///
+    /// The batched dynamic-evaluation harness reads this to account spike
+    /// activity per sample rather than per batch. Spiking layers must
+    /// override it together with `last_spike_density`; the default covers
+    /// non-spiking layers.
+    fn last_spike_row_densities(&self) -> Option<&[f32]> {
+        None
+    }
+
+    /// Restricts all carried batch state (e.g. LIF membrane potentials) to
+    /// the given axis-0 rows, in order — the layer-level half of
+    /// [`crate::Snn::compact_batch`], called between timesteps when the
+    /// batched dynamic-evaluation harness retires exited samples.
+    ///
+    /// Only inference-time sequence state participates: training caches are
+    /// out of scope (compaction is an [`Mode::Eval`] operation). Layers
+    /// without per-row state keep the default no-op; container layers must
+    /// forward the call to their children.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range row indices.
+    fn select_batch_rows(&mut self, rows: &[usize]) -> Result<()> {
+        let _ = rows;
+        Ok(())
+    }
+
     /// Freezes any input-dependent normalization statistics so repeated
     /// forward passes become pure functions of the parameters (the
     /// conformance gradient checker needs this: batch-norm EMA updates

@@ -716,6 +716,20 @@ impl Layer for ResidualBlock {
     fn last_spike_density(&self) -> Option<f32> {
         self.join.last_spike_density()
     }
+
+    fn last_spike_row_densities(&self) -> Option<&[f32]> {
+        self.join.last_spike_row_densities()
+    }
+
+    fn select_batch_rows(&mut self, rows: &[usize]) -> Result<()> {
+        for l in &mut self.main {
+            l.select_batch_rows(rows)?;
+        }
+        for l in &mut self.shortcut {
+            l.select_batch_rows(rows)?;
+        }
+        self.join.select_batch_rows(rows)
+    }
 }
 
 #[cfg(test)]

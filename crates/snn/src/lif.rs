@@ -105,6 +105,8 @@ pub struct LifNeuron {
     grad_membrane: Option<Tensor>,
     /// Spike density of the most recent forward output.
     last_density: f32,
+    /// Per-batch-row spike densities of the most recent forward output.
+    last_row_densities: Vec<f32>,
 }
 
 impl LifNeuron {
@@ -116,7 +118,14 @@ impl LifNeuron {
     /// check fallibly.
     pub fn new(config: LifConfig) -> Self {
         config.validate().expect("invalid LIF configuration");
-        LifNeuron { config, membrane: None, caches: Vec::new(), grad_membrane: None, last_density: 0.0 }
+        LifNeuron {
+            config,
+            membrane: None,
+            caches: Vec::new(),
+            grad_membrane: None,
+            last_density: 0.0,
+            last_row_densities: Vec::new(),
+        }
     }
 
     /// The layer's configuration.
@@ -178,6 +187,7 @@ impl Layer for LifNeuron {
         }
         self.membrane = Some(next);
         self.last_density = spikes.density();
+        self.last_row_densities = spikes.density_rows();
         if mode == Mode::Train {
             self.caches.push(LifCache { u_pre, spikes: spikes.clone() });
         }
@@ -233,6 +243,7 @@ impl Layer for LifNeuron {
         self.caches.clear();
         self.grad_membrane = None;
         self.last_density = 0.0;
+        self.last_row_densities.clear();
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -247,6 +258,29 @@ impl Layer for LifNeuron {
 
     fn last_spike_density(&self) -> Option<f32> {
         Some(self.last_density)
+    }
+
+    fn last_spike_row_densities(&self) -> Option<&[f32]> {
+        Some(&self.last_row_densities)
+    }
+
+    fn select_batch_rows(&mut self, rows: &[usize]) -> Result<()> {
+        if let Some(u) = &self.membrane {
+            self.membrane = Some(u.select_rows(rows).map_err(SnnError::from)?);
+        }
+        if !self.last_row_densities.is_empty() {
+            let mut kept = Vec::with_capacity(rows.len());
+            for &r in rows {
+                kept.push(*self.last_row_densities.get(r).ok_or_else(|| {
+                    SnnError::BadInput(format!(
+                        "select_batch_rows index {r} out of range ({} rows)",
+                        self.last_row_densities.len()
+                    ))
+                })?);
+            }
+            self.last_row_densities = kept;
+        }
+        Ok(())
     }
 }
 
@@ -422,5 +456,40 @@ mod tests {
         let x = Tensor::from_vec(vec![2.0, 0.0, 2.0, 0.0], &[1, 4]).unwrap();
         lif.forward(&x, Mode::Eval).unwrap();
         assert_eq!(lif.last_spike_density(), Some(0.5));
+    }
+
+    #[test]
+    fn per_row_densities_reported_per_batch_row() {
+        let mut lif = LifNeuron::new(LifConfig::default());
+        // row 0 fires both neurons, row 1 one, row 2 none
+        let x = Tensor::from_vec(vec![2.0, 2.0, 2.0, 0.0, 0.0, 0.0], &[3, 2]).unwrap();
+        lif.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(lif.last_spike_row_densities(), Some([1.0, 0.5, 0.0].as_slice()));
+        lif.reset_state();
+        assert_eq!(lif.last_spike_row_densities(), Some([].as_slice()));
+    }
+
+    #[test]
+    fn select_batch_rows_gathers_membrane_state() {
+        let mut lif = LifNeuron::new(LifConfig { tau: 0.5, v_th: 10.0, ..LifConfig::default() });
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]).unwrap();
+        lif.forward(&x, Mode::Eval).unwrap();
+        lif.select_batch_rows(&[2, 0]).unwrap();
+        assert_eq!(lif.membrane().unwrap().dims(), &[2, 1]);
+        assert_eq!(lif.membrane().unwrap().data(), &[3.0, 1.0]);
+        assert_eq!(lif.last_spike_row_densities().map(|d| d.len()), Some(2));
+        // the compacted rows evolve exactly like a batch built from them
+        let x2 = Tensor::from_vec(vec![0.5, 0.25], &[2, 1]).unwrap();
+        let s = lif.forward(&x2, Mode::Eval).unwrap();
+        assert_eq!(s.dims(), &[2, 1]);
+        assert_eq!(lif.membrane().unwrap().data(), &[2.0, 0.75]);
+        assert!(lif.select_batch_rows(&[5]).is_err());
+    }
+
+    #[test]
+    fn select_batch_rows_on_fresh_layer_is_a_no_op() {
+        let mut lif = LifNeuron::new(LifConfig::default());
+        lif.select_batch_rows(&[0]).unwrap();
+        assert!(lif.membrane().is_none());
     }
 }

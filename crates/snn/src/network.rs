@@ -208,6 +208,50 @@ impl Snn {
         Ok(outputs)
     }
 
+    /// Restricts every layer's carried batch state to the given axis-0 rows,
+    /// in order (see [`Layer::select_batch_rows`]).
+    ///
+    /// This is the active-set compaction hook of the batched dynamic
+    /// evaluation in `dtsnn-core`: between timesteps it retires samples whose
+    /// exit policy fired, so later timesteps forward a physically smaller
+    /// batch whose per-row state (LIF membranes) is bitwise identical to what
+    /// a batch built from only the surviving samples would carry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (e.g. an out-of-range row index).
+    pub fn compact_batch(&mut self, rows: &[usize]) -> Result<()> {
+        for node in &mut self.layers {
+            node.layer.select_batch_rows(rows)?;
+        }
+        Ok(())
+    }
+
+    /// Per-batch-row output spike densities of every observable spiking
+    /// layer for the most recent timestep, in network order (aligned with
+    /// [`SpikeActivity::per_layer`] and the accumulators behind
+    /// [`Snn::take_activity`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::BadInput`] if a spiking layer reports a scalar
+    /// density but no per-row densities (every built-in spiking layer
+    /// reports both).
+    pub fn last_spike_row_densities(&self) -> Result<Vec<&[f32]>> {
+        self.layers
+            .iter()
+            .filter(|n| n.layer.last_spike_density().is_some())
+            .map(|n| {
+                n.layer.last_spike_row_densities().ok_or_else(|| {
+                    SnnError::BadInput(format!(
+                        "layer '{}' reports spike density but not per-row densities",
+                        n.name
+                    ))
+                })
+            })
+            .collect()
+    }
+
     /// Returns and resets the raw spike-activity accumulators: per-layer
     /// density sums plus the timestep-observation count.
     ///
@@ -318,6 +362,47 @@ mod tests {
         net.absorb_raw_activity(&s0, o0);
         net.absorb_raw_activity(&s1, o1);
         assert_eq!(net.take_activity(), expect);
+    }
+
+    #[test]
+    fn compact_batch_matches_running_the_survivors_alone() {
+        // Forward a 3-row batch one timestep, compact to rows {0, 2}, forward
+        // a second timestep — the outputs must be bitwise identical to a
+        // 2-row batch built from those samples and run for both timesteps.
+        let mut rng = TensorRng::seed_from(7);
+        let mut compacted = tiny_net(&mut rng);
+        let reference_proto = compacted.clone();
+        let x1 = Tensor::randn(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let x2 = Tensor::randn(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let keep = [0usize, 2];
+
+        compacted.reset_state();
+        compacted.forward_timestep(&x1, Mode::Eval).unwrap();
+        compacted.compact_batch(&keep).unwrap();
+        let out_compacted =
+            compacted.forward_timestep(&x2.select_rows(&keep).unwrap(), Mode::Eval).unwrap();
+
+        let mut reference = reference_proto;
+        reference.reset_state();
+        reference.forward_timestep(&x1.select_rows(&keep).unwrap(), Mode::Eval).unwrap();
+        let out_reference =
+            reference.forward_timestep(&x2.select_rows(&keep).unwrap(), Mode::Eval).unwrap();
+
+        assert_eq!(out_compacted, out_reference);
+    }
+
+    #[test]
+    fn spike_row_densities_align_with_activity_accounting() {
+        let mut rng = TensorRng::seed_from(9);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::full(&[2, 2, 2, 2], 5.0);
+        net.forward_timestep(&x, Mode::Eval).unwrap();
+        let rows = net.last_spike_row_densities().unwrap();
+        assert_eq!(rows.len(), 1); // one LIF
+        assert_eq!(rows[0].len(), 2); // one density per batch row
+        // batch mean of the rows reproduces the scalar density
+        let scalar = net.layers()[2].layer.last_spike_density().unwrap();
+        assert!(((rows[0][0] + rows[0][1]) / 2.0 - scalar).abs() < 1e-6);
     }
 
     #[test]

@@ -228,6 +228,37 @@ impl Tensor {
         Tensor::from_vec(data, &dims)
     }
 
+    /// Gathers the given axis-0 rows into a new tensor (`out[k] = self[rows[k]]`).
+    ///
+    /// Indices may repeat and appear in any order; the output shape is
+    /// `[rows.len(), tail…]`. This is the batch-compaction primitive: the
+    /// batched dynamic-evaluation harness uses it to drop exited samples from
+    /// input frames and carried layer state between timesteps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors and
+    /// [`TensorError::InvalidArgument`] for an out-of-range index.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+        }
+        let n = self.shape.dim(0);
+        let stride: usize = self.dims()[1..].iter().product();
+        let mut data = Vec::with_capacity(rows.len() * stride);
+        for &r in rows {
+            if r >= n {
+                return Err(TensorError::InvalidArgument(format!(
+                    "select_rows index {r} out of range ({n} rows)"
+                )));
+            }
+            data.extend_from_slice(&self.data[r * stride..(r + 1) * stride]);
+        }
+        let mut dims = vec![rows.len()];
+        dims.extend_from_slice(&self.dims()[1..]);
+        Tensor::from_vec(data, &dims)
+    }
+
     // ---------------------------------------------------------- elementwise
 
     /// Applies `f` to every element, producing a new tensor.
@@ -337,6 +368,28 @@ impl Tensor {
             return 0.0;
         }
         self.data.iter().filter(|&&x| x != 0.0).count() as f32 / self.data.len() as f32
+    }
+
+    /// Fraction of nonzero elements in each axis-0 row.
+    ///
+    /// Entry `k` is bitwise identical to `self.select_rows(&[k]).density()`,
+    /// and for a rank-≥1 tensor the whole-tensor [`Tensor::density`] equals
+    /// `total_count / len` over the same integer counts — the property the
+    /// batched evaluation harness relies on to account spike activity per
+    /// sample. Returns one entry per row (empty for rank-0 tensors).
+    pub fn density_rows(&self) -> Vec<f32> {
+        if self.shape.rank() == 0 || self.data.is_empty() {
+            return Vec::new();
+        }
+        let n = self.shape.dim(0);
+        let stride: usize = self.dims()[1..].iter().product();
+        if stride == 0 {
+            return vec![0.0; n];
+        }
+        self.data
+            .chunks(stride)
+            .map(|row| row.iter().filter(|&&x| x != 0.0).count() as f32 / stride as f32)
+            .collect()
     }
 
     /// Index of the maximum element of a rank-1 tensor (ties → first).
@@ -477,6 +530,33 @@ mod tests {
         assert_eq!(c.sum(), 6.0);
         let bad = Tensor::zeros(&[1, 4]);
         assert!(Tensor::concat_axis0(&[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn select_rows_gathers_in_index_order() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 2, 2]).unwrap();
+        let g = t.select_rows(&[2, 0]).unwrap();
+        assert_eq!(g.dims(), &[2, 2, 2]);
+        assert_eq!(g.data(), &[8.0, 9.0, 10.0, 11.0, 0.0, 1.0, 2.0, 3.0]);
+        // repeats are allowed; the empty gather yields an empty batch
+        assert_eq!(
+            t.select_rows(&[1, 1]).unwrap().data(),
+            &[4.0, 5.0, 6.0, 7.0, 4.0, 5.0, 6.0, 7.0]
+        );
+        assert_eq!(t.select_rows(&[]).unwrap().dims(), &[0, 2, 2]);
+        assert!(t.select_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn density_rows_matches_per_row_density() {
+        let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.5, 2.0], &[3, 2]).unwrap();
+        let rows = t.density_rows();
+        assert_eq!(rows, vec![0.5, 0.0, 1.0]);
+        for (k, &d) in rows.iter().enumerate() {
+            assert_eq!(d, t.select_rows(&[k]).unwrap().density());
+        }
+        // whole-tensor density is the count-weighted mean of the row counts
+        assert_eq!(t.density(), 3.0 / 6.0);
     }
 
     #[test]

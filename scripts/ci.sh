@@ -25,6 +25,16 @@ for threads in 1 4; do
     DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor --lib parallel::
 done
 
+# Batched-vs-sequential parity: the active-set compaction engine behind
+# DynamicEvaluation::run_batched must reproduce the sequential runner
+# bitwise (outcomes, T̂ histogram AND spike activity) at both ambient
+# worker counts. The `batched` filter catches the whole parity suite in
+# core::harness plus the batched throughput checks.
+for threads in 1 4; do
+    echo "== batched compaction parity (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-core batched
+done
+
 # Conformance stage: golden-trace replay against the committed goldens/
 # (fails on any drift — regenerate intentionally changed numerics with
 # `cargo run -p dtsnn-conformance --bin bless`) plus the fixed-seed fuzz
