@@ -6,12 +6,20 @@
 //! temperature surrogate + Eq. 9), and ours (Eq. 10 per-timestep loss), then
 //! reports accuracy at every timestep budget, plus the DT-SNN point.
 //! Panel B re-evaluates the static and DT-SNN models after pushing the
-//! trained weights through the 4-bit RRAM device model with σ/μ = 20%.
+//! trained weights through the 4-bit RRAM device model with σ/μ = 20%,
+//! using the Monte-Carlo robustness harness: N seeded programming-variation
+//! draws (the null fault model — Table I device statistics only) with
+//! accuracy reported as mean ± 95% CI.
 
-use dtsnn_bench::{json, model_config_for, print_table, write_json, Arch, ExpConfig};
-use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy, StaticEvaluation};
+use dtsnn_bench::{
+    hardware_profile_for, json, model_config_for, print_table, write_json, Arch, ExpConfig,
+};
+use dtsnn_core::{
+    DynamicEvaluation, DynamicInference, ExitPolicy, MonteCarloConfig, MonteCarloRobustness,
+    MonteCarloStatic, StaticEvaluation,
+};
 use dtsnn_data::Preset;
-use dtsnn_imc::{perturb_network, HardwareConfig};
+use dtsnn_imc::FaultModel;
 use dtsnn_snn::{
     LifConfig, LossKind, SgdConfig, Snn, Surrogate, Trainer, TrainerConfig,
 };
@@ -84,35 +92,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Panel B: device-variation robustness ------------------------------
-    let hw = HardwareConfig::default(); // σ/μ = 20%, Table I
-    let mut rng = TensorRng::seed_from(exp.seed ^ 0x0A05E);
-    let mut rows_b = Vec::new();
-    let mut json_b = Vec::new();
-    // reuse the already-trained models; each trial perturbs fresh clones
-    for trial in 0..3u64 {
-        let mut noisy_static = tdbn.clone();
-        let mut noisy_dt = ours.clone();
-        perturb_network(&mut noisy_static, &hw, &mut rng)?;
-        perturb_network(&mut noisy_dt, &hw, &mut rng)?;
-        let s_eval = StaticEvaluation::run(&mut noisy_static, &frames, &labels, t_max)?;
-        let d_eval = DynamicEvaluation::run_batched(&mut noisy_dt, &runner, &frames, &labels, None, 32)?;
-        rows_b.push(vec![
-            format!("trial {trial}"),
-            format!("{:.2}% @T=4", s_eval.full_window_accuracy() * 100.0),
-            format!("{:.2}% @T̂={:.2}", d_eval.accuracy * 100.0, d_eval.avg_timesteps),
-        ]);
-        json_b.push(json!({
-            "trial": trial,
-            "static_noisy_accuracy": s_eval.full_window_accuracy(),
-            "dtsnn_noisy_accuracy": d_eval.accuracy,
-            "dtsnn_avg_timesteps": d_eval.avg_timesteps,
-        }));
-    }
+    // Monte-Carlo over programming variation alone: the null fault model
+    // leaves only Table I's σ/μ = 20% conductance spread, drawn fresh per
+    // trial. Identical mc seeds give the static baseline and DT-SNN the
+    // same damaged substrates.
+    let model_cfg = model_config_for(&dataset);
+    let profile = hardware_profile_for(Arch::Vgg, &model_cfg)?;
+    let variation = FaultModel::none();
+    let mc = MonteCarloConfig { trials: 5, seed: exp.seed ^ 0x0A05E };
+    eprintln!("[fig6B] {} Monte-Carlo variation draws per model…", mc.trials);
+    let s_mc = MonteCarloStatic::run(&tdbn, &frames, &labels, t_max, &profile, &variation, &mc)?;
+    let d_mc =
+        MonteCarloRobustness::run(&ours, &runner, &frames, &labels, &profile, &variation, &mc)?;
+    let pct = |s: &dtsnn_core::Statistic| {
+        format!("{:.2}% ± {:.2}%", s.mean * 100.0, s.ci95 * 100.0)
+    };
+    let rows_b = vec![
+        vec![
+            format!("tdBN static @T={t_max}"),
+            pct(&s_mc.accuracy),
+            String::new(),
+        ],
+        vec![
+            "ours DT-SNN θ=0.3".into(),
+            pct(&d_mc.accuracy),
+            format!("T̂ = {}", d_mc.avg_timesteps.display(2)),
+        ],
+    ];
     print_table(
-        "Fig. 6(B): accuracy under 20% device variation",
-        &["trial", "static SNN (NI)", "DT-SNN (NI)"],
+        &format!("Fig. 6(B): accuracy under 20% device variation ({} trials, mean ± 95% CI)", mc.trials),
+        &["model", "accuracy (NI)", "timesteps"],
         &rows_b,
     );
+    let json_b = json!({
+        "trials": mc.trials,
+        "mc_seed": mc.seed,
+        "static_noisy_accuracy": json!({
+            "mean": s_mc.accuracy.mean, "std": s_mc.accuracy.std_dev, "ci95": s_mc.accuracy.ci95,
+            "per_trial": s_mc.trials.iter().map(|t| t.accuracy).collect::<Vec<_>>(),
+        }),
+        "dtsnn_noisy_accuracy": json!({
+            "mean": d_mc.accuracy.mean, "std": d_mc.accuracy.std_dev, "ci95": d_mc.accuracy.ci95,
+            "per_trial": d_mc.trials.iter().map(|t| t.accuracy).collect::<Vec<_>>(),
+        }),
+        "dtsnn_avg_timesteps": json!({"mean": d_mc.avg_timesteps.mean, "ci95": d_mc.avg_timesteps.ci95}),
+        "quarantined_total": d_mc.quarantined_total,
+    });
     println!("\npaper: DT-SNN maintains higher accuracy than static SNN under variation");
     let path = write_json(
         "fig6_prior_and_noise",

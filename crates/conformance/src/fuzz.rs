@@ -25,12 +25,19 @@
 //!    compaction engine behind [`DynamicEvaluation::run_batched`] must
 //!    reproduce the per-sample runner bitwise: outcomes, T̂ histogram AND
 //!    accumulated spike activity, under 1 worker and under 4.
+//! 7. **Fault-injection invariants** — the null [`FaultModel`] over
+//!    noiseless devices reduces injection bitwise to quantize–dequantize
+//!    (digital parameters untouched), a live model is seed-reproducible and
+//!    thread-count invariant, and severity scaling never leaves the valid
+//!    model domain.
 
 use dtsnn_bench::Arch;
 use dtsnn_core::{
     static_inference, DynamicEvaluation, DynamicInference, DynamicOutcome, ExitPolicy,
 };
-use dtsnn_imc::{quantize_dequantize, ChipMapping, DeviceNoise, HardwareConfig};
+use dtsnn_imc::{
+    quantize_dequantize, ChipMapping, DeviceNoise, FaultInjector, FaultModel, HardwareConfig,
+};
 use dtsnn_snn::{load_params, save_params, LifConfig, Mode, ModelConfig, Snn};
 use dtsnn_tensor::{parallel, Tensor, TensorRng};
 
@@ -288,6 +295,87 @@ fn oracle_batched_compaction_equals_sequential(case: &FuzzCase) -> Result<(), St
     Ok(())
 }
 
+fn oracle_fault_injection_invariants(case: &FuzzCase) -> Result<(), String> {
+    let geometry = case.arch().geometry(&case.model_config());
+    // (a) the null model over noiseless devices collapses to pure
+    // quantization on the crossbar-mapped parameters, and leaves the
+    // digital (non-decay) parameters untouched
+    let quiet = HardwareConfig {
+        sigma_over_mu: 0.0,
+        crossbar_size: case.crossbar_size,
+        ..HardwareConfig::default()
+    };
+    let injector = FaultInjector::for_geometry(FaultModel::none(), &geometry, &quiet)
+        .map_err(|e| e.to_string())?;
+    let mut net = case.build(6)?;
+    let mut originals: Vec<(bool, Vec<f32>)> = Vec::new();
+    net.visit_params(&mut |p| originals.push((p.decay, p.value.data().to_vec())));
+    let mut rng = TensorRng::seed_from(case.seed ^ 0xFA17);
+    let report = injector.inject(&mut net, &mut rng).map_err(|e| e.to_string())?;
+    if report.weights_faulted != 0 || report.stuck_on + report.stuck_off != 0 {
+        return Err(format!("null model reported faults: {report:?}"));
+    }
+    let mut idx = 0usize;
+    let mut violation: Option<String> = None;
+    net.visit_params(&mut |p| {
+        let (decay, orig) = &originals[idx];
+        idx += 1;
+        if violation.is_some() {
+            return;
+        }
+        if *decay {
+            let scale = orig.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for (&a, &o) in p.value.data().iter().zip(orig) {
+                let want = quantize_dequantize(o, scale, quiet.weight_bits);
+                if a.to_bits() != want.to_bits() {
+                    violation =
+                        Some(format!("null injection of {o} gave {a}, quantization gives {want}"));
+                    return;
+                }
+            }
+        } else if p.value.data() != orig.as_slice() {
+            violation = Some("null injection touched a digital (non-crossbar) parameter".into());
+        }
+    });
+    if let Some(e) = violation {
+        return Err(e);
+    }
+    // (b) severity scaling must stay inside the valid model domain
+    let model = FaultModel {
+        stuck_on_rate: 0.01,
+        stuck_off_rate: 0.02,
+        read_sigma: 0.03,
+        drift: 0.02,
+        dead_wordline_rate: 0.005,
+        dead_bitline_rate: 0.005,
+    };
+    if model.scaled(4.0).validate().is_err() || !model.scaled(0.0).is_null() {
+        return Err("scaling a valid fault model left the valid domain".into());
+    }
+    // (c) a live model must be seed-reproducible and thread-count invariant
+    let config = HardwareConfig { crossbar_size: case.crossbar_size, ..HardwareConfig::default() };
+    let damage = |threads: usize| {
+        parallel::with_threads(threads, || -> Result<_, String> {
+            let injector = FaultInjector::for_geometry(model, &geometry, &config)
+                .map_err(|e| e.to_string())?;
+            let mut net = case.build(6)?;
+            let mut rng = TensorRng::seed_from(case.seed ^ 0xDA06);
+            let report = injector.inject(&mut net, &mut rng).map_err(|e| e.to_string())?;
+            let mut weights: Vec<Vec<f32>> = Vec::new();
+            net.visit_params(&mut |p| weights.push(p.value.data().to_vec()));
+            Ok((weights, report))
+        })
+    };
+    let single = damage(1)?;
+    if single != damage(1)? {
+        return Err("same-seed fault injection is not reproducible".into());
+    }
+    if single != damage(4)? {
+        return Err("fault injection differs across thread counts".into());
+    }
+    Ok(())
+}
+
 /// Runs every oracle against `case`, returning the first violation.
 ///
 /// # Errors
@@ -301,6 +389,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     oracle_checkpoint_roundtrip(case).map_err(|e| format!("checkpoint: {e}"))?;
     oracle_batched_compaction_equals_sequential(case)
         .map_err(|e| format!("batched-compaction≡sequential: {e}"))?;
+    oracle_fault_injection_invariants(case).map_err(|e| format!("fault-injection: {e}"))?;
     Ok(())
 }
 

@@ -104,6 +104,104 @@ impl DynamicEvaluation {
         })
     }
 
+    /// Like [`DynamicEvaluation::run`], but hardened against numerically
+    /// broken forward passes: a sample whose inference produces a non-finite
+    /// value anywhere the policy or prediction can see it (accumulated
+    /// logits, policy scores, exit probabilities) is **quarantined** — its
+    /// index is reported and it is scored as incorrect instead of letting a
+    /// NaN argmax silently poison the accuracy. This matters under fault
+    /// injection, where a damaged substrate can blow up activations.
+    ///
+    /// Quarantined samples still contribute their T̂ and spike activity —
+    /// the forward pass physically ran. Note the entropy policy's hardware
+    /// model treats non-positive (hence also NaN) probabilities as
+    /// contributing zero entropy, so a poisoned sample typically *exits
+    /// immediately as confidently wrong* — exactly the failure mode this
+    /// harness surfaces; under max-prob/margin the NaN score never fires
+    /// and such samples burn the full window instead. Spike counts stay
+    /// finite even when logits do not; should a sample's activity sums
+    /// themselves be non-finite, they are dropped from the activity
+    /// accumulator as well.
+    ///
+    /// On a healthy network the result equals [`DynamicEvaluation::run`]
+    /// bitwise with an empty quarantine list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] for mismatched inputs.
+    pub fn run_quarantined(
+        network: &mut Snn,
+        runner: &DynamicInference,
+        frames: &[Vec<Tensor>],
+        labels: &[usize],
+        difficulties: Option<&[f32]>,
+    ) -> Result<QuarantinedEvaluation> {
+        if frames.is_empty() || frames.len() != labels.len() {
+            return Err(CoreError::BadInput("frames/labels mismatch or empty".into()));
+        }
+        if let Some(d) = difficulties {
+            if d.len() != frames.len() {
+                return Err(CoreError::BadInput("difficulties length mismatch".into()));
+            }
+        }
+        let _ = network.take_activity();
+        // same deterministic fan-out/fold as `run`; see there
+        let indices: Vec<usize> = (0..frames.len()).collect();
+        let proto: &Snn = network;
+        let per_sample = parallel::map_chunks(&indices, |_, chunk| {
+            let mut net = proto.clone();
+            chunk
+                .iter()
+                .map(|&i| -> Result<(usize, bool, bool, Vec<f64>, usize)> {
+                    let trace = runner.run_traced(&mut net, &frames[i])?;
+                    let (sums, obs) = net.take_raw_activity();
+                    let out = &trace.outcome;
+                    let finite = out.scores.iter().all(|s| s.is_finite())
+                        && out.probabilities.iter().all(|p| p.is_finite())
+                        && trace
+                            .per_timestep
+                            .iter()
+                            .all(|t| t.accumulated_logits.iter().all(|v| v.is_finite()));
+                    let correct = finite && out.prediction == labels[i];
+                    Ok((out.timesteps_used, correct, finite, sums, obs))
+                })
+                .collect()
+        });
+        let mut histogram = vec![0usize; runner.max_timesteps()];
+        let mut samples = Vec::with_capacity(frames.len());
+        let mut quarantined = Vec::new();
+        let mut correct_total = 0usize;
+        let mut timestep_total = 0usize;
+        for (i, res) in per_sample.into_iter().enumerate() {
+            let (used, correct, finite, sums, obs) = res?;
+            if sums.iter().all(|s| s.is_finite()) {
+                network.absorb_raw_activity(&sums, obs);
+            }
+            if !finite {
+                quarantined.push(i);
+            }
+            correct_total += correct as usize;
+            timestep_total += used;
+            histogram[used - 1] += 1;
+            samples.push(DynamicSampleOutcome {
+                timesteps_used: used,
+                correct,
+                difficulty: difficulties.map(|d| d[i]).unwrap_or(f32::NAN),
+            });
+        }
+        let n = frames.len() as f32;
+        Ok(QuarantinedEvaluation {
+            eval: DynamicEvaluation {
+                accuracy: correct_total as f32 / n,
+                avg_timesteps: timestep_total as f32 / n,
+                timestep_histogram: histogram,
+                samples,
+                activity: network.take_activity(),
+            },
+            quarantined,
+        })
+    }
+
     /// Batched variant of [`DynamicEvaluation::run`], built on **active-set
     /// compaction**: each chunk of up to `batch_size` samples is forwarded
     /// one timestep at a time, the exit policy is scored per batch row, and
@@ -275,6 +373,18 @@ impl DynamicEvaluation {
             .map(|&c| c as f32 / n.max(1) as f32)
             .collect()
     }
+}
+
+/// Result of [`DynamicEvaluation::run_quarantined`]: the evaluation over
+/// **all** samples (quarantined ones scored as incorrect) plus the indices
+/// that produced non-finite values. `eval.samples` stays aligned with the
+/// input order, so callers can cross-reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedEvaluation {
+    /// The evaluation, with quarantined samples forced incorrect.
+    pub eval: DynamicEvaluation,
+    /// Input indices whose forward pass produced NaN/Inf, ascending.
+    pub quarantined: Vec<usize>,
 }
 
 /// Aggregate result of evaluating a static SNN at every timestep budget
@@ -584,6 +694,96 @@ mod tests {
             let par = dtsnn_tensor::parallel::with_threads(threads, run_both);
             assert_eq!(serial.0, par.0, "dynamic eval diverged at {threads} threads");
             assert_eq!(serial.1, par.1, "static eval diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn quarantine_is_a_noop_on_healthy_networks() {
+        let (frames, labels) = tiny_data(12, 71);
+        let diffs: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.6).unwrap(), 4).unwrap();
+        let mut net_a = tiny_net(72);
+        let plain =
+            DynamicEvaluation::run(&mut net_a, &runner, &frames, &labels, Some(&diffs)).unwrap();
+        let mut net_b = tiny_net(72);
+        let q = DynamicEvaluation::run_quarantined(&mut net_b, &runner, &frames, &labels, Some(&diffs))
+            .unwrap();
+        assert!(q.quarantined.is_empty());
+        assert_eq!(plain, q.eval, "healthy path must match the plain harness bitwise");
+    }
+
+    #[test]
+    fn nan_weights_quarantine_every_sample() {
+        let (frames, labels) = tiny_data(6, 73);
+        let mut net = tiny_net(74);
+        // Poison the biases: a NaN *weight* can hide behind the spike-sparse
+        // matmul kernels (zero activations are skipped, so NaN·0 never
+        // happens), but the bias is added to every logit unconditionally —
+        // every forward pass now yields a NaN logit.
+        net.visit_params(&mut |p| {
+            if !p.decay {
+                p.value.data_mut()[0] = f32::NAN;
+            }
+        });
+        let runner = DynamicInference::new(ExitPolicy::entropy(0.9).unwrap(), 3).unwrap();
+        let q =
+            DynamicEvaluation::run_quarantined(&mut net, &runner, &frames, &labels, None).unwrap();
+        assert_eq!(q.quarantined, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.eval.accuracy, 0.0, "quarantined samples must score incorrect");
+        // the entropy hardware model reads NaN probabilities as zero entropy,
+        // so poisoned samples exit immediately as confidently wrong — the
+        // exact silent failure the quarantine flags
+        assert_eq!(q.eval.timestep_histogram, vec![6, 0, 0]);
+        assert_eq!(q.eval.avg_timesteps, 1.0);
+        assert!(q.eval.samples.iter().all(|s| !s.correct));
+    }
+
+    /// Fills the classifier's first weight row with NaN: any sample whose
+    /// hidden layer ever spikes gets a NaN logit, while a sample that stays
+    /// silent never multiplies the poisoned row (the spike-sparse matmul
+    /// skips zero activations) and remains healthy.
+    fn poison_classifier(net: &mut Snn) {
+        let mut decayed = 0;
+        net.visit_params(&mut |p| decayed += p.decay as usize);
+        let mut seen = 0;
+        net.visit_params(&mut |p| {
+            if p.decay {
+                seen += 1;
+                if seen == decayed {
+                    let cols = p.value.dims()[1];
+                    p.value.data_mut()[..cols].fill(f32::NAN);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn quarantine_is_thread_count_invariant_and_partial() {
+        // odd sample count, alternating live frames (hidden spikes → NaN
+        // logits → quarantined) and all-zero frames (zero bias + positive
+        // threshold ⇒ provably silent ⇒ healthy)
+        let (mut frames, labels) = tiny_data(11, 75);
+        for f in frames.iter_mut().skip(1).step_by(2) {
+            *f = vec![Tensor::zeros(&[1, 2, 2])];
+        }
+        // real difficulty values: NaN would defeat the PartialEq comparison
+        let diffs: Vec<f32> = (0..11).map(|i| i as f32 / 11.0).collect();
+        let runner = DynamicInference::new(ExitPolicy::entropy(1e-7).unwrap(), 4).unwrap();
+        let run = || {
+            let mut net = tiny_net(76);
+            poison_classifier(&mut net);
+            DynamicEvaluation::run_quarantined(&mut net, &runner, &frames, &labels, Some(&diffs))
+                .unwrap()
+        };
+        let serial = dtsnn_tensor::parallel::with_threads(1, run);
+        assert!(
+            !serial.quarantined.is_empty() && serial.quarantined.len() < frames.len(),
+            "fixture must mix quarantined and healthy samples: {:?}",
+            serial.quarantined
+        );
+        for threads in [2, 4] {
+            let par = dtsnn_tensor::parallel::with_threads(threads, run);
+            assert_eq!(serial, par, "quarantined eval diverged at {threads} threads");
         }
     }
 

@@ -13,6 +13,8 @@
 //! - [`DynamicEvaluation`] / [`StaticEvaluation`] — dataset-level harnesses
 //!   reporting accuracy, average timesteps and the T̂ distribution;
 //! - [`ThresholdSweep`] — accuracy–EDP curves over θ (Figs. 5 and 7);
+//! - [`MonteCarloRobustness`] / [`degradation_sweep`] — seeded fault trials
+//!   over the damaged IMC substrate with mean/std/CI aggregation (Fig. 6(B));
 //! - [`measure_throughput`] — wall-clock images/s (Table III);
 //! - [`ascii_render`] — easy/hard sample visualization (Fig. 8).
 //!
@@ -36,6 +38,7 @@ mod error;
 mod harness;
 mod inference;
 mod policy;
+mod robustness;
 mod sweep;
 mod throughput;
 mod visualize;
@@ -45,9 +48,15 @@ pub use calibration::{
 };
 pub use energy_link::{densities_from_activity, HardwareProfile};
 pub use error::CoreError;
-pub use harness::{DynamicEvaluation, DynamicSampleOutcome, StaticEvaluation};
+pub use harness::{
+    DynamicEvaluation, DynamicSampleOutcome, QuarantinedEvaluation, StaticEvaluation,
+};
 pub use inference::{static_inference, DynamicInference, DynamicOutcome, DynamicTrace, TimestepTrace};
 pub use policy::ExitPolicy;
+pub use robustness::{
+    degradation_sweep, DegradationPoint, FaultTrial, MonteCarloConfig, MonteCarloRobustness,
+    MonteCarloStatic, StaticTrial, Statistic,
+};
 pub use sweep::{SweepPoint, ThresholdSweep};
 pub use throughput::{
     measure_batched_dynamic_throughput, measure_dynamic_throughput, measure_throughput,

@@ -1,6 +1,7 @@
 //! Hardware configuration: Table I of the paper plus calibrated per-event
 //! energy/latency constants.
 
+use crate::faults::FaultModel;
 use crate::{ImcError, Result};
 
 /// Per-event dynamic energy constants, in picojoules.
@@ -130,6 +131,10 @@ pub struct HardwareConfig {
     pub energy: EnergyConstants,
     /// Latency constants.
     pub latency: LatencyConstants,
+    /// Substrate fault model (stuck-at devices, drift, read noise, dead
+    /// lines). Defaults to [`FaultModel::none`]: only quantization and the
+    /// `sigma_over_mu` programming variation apply.
+    pub fault: FaultModel,
 }
 
 impl Default for HardwareConfig {
@@ -152,6 +157,7 @@ impl Default for HardwareConfig {
             entropy_lut_bytes: 3 * 1024,
             energy: EnergyConstants::default(),
             latency: LatencyConstants::default(),
+            fault: FaultModel::none(),
         }
     }
 }
@@ -188,6 +194,7 @@ impl HardwareConfig {
         if self.sigma_over_mu < 0.0 {
             return Err(ImcError::InvalidConfig("sigma_over_mu must be nonnegative".into()));
         }
+        self.fault.validate()?;
         Ok(())
     }
 
@@ -244,6 +251,14 @@ mod tests {
         assert!(c.validate().is_err());
         let c = HardwareConfig { v_read: 2.0, ..HardwareConfig::default() };
         assert!(c.validate().is_err());
+        let bad_fault = FaultModel { stuck_on_rate: 1.5, ..FaultModel::none() };
+        let c = HardwareConfig { fault: bad_fault, ..HardwareConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_fault_model_is_null() {
+        assert!(HardwareConfig::default().fault.is_null());
     }
 
 }

@@ -15,6 +15,9 @@ pub enum ImcError {
         /// Density entries supplied.
         densities: usize,
     },
+    /// A network's crossbar-mapped parameters disagree with the chip mapping
+    /// they are being injected through.
+    NetworkMismatch(String),
 }
 
 impl fmt::Display for ImcError {
@@ -24,6 +27,9 @@ impl fmt::Display for ImcError {
             ImcError::UnmappableLayer(msg) => write!(f, "unmappable layer: {msg}"),
             ImcError::ActivityMismatch { layers, densities } => {
                 write!(f, "mapping has {layers} layers but {densities} density entries supplied")
+            }
+            ImcError::NetworkMismatch(msg) => {
+                write!(f, "network does not match chip mapping: {msg}")
             }
         }
     }
@@ -41,6 +47,7 @@ mod tests {
             ImcError::InvalidConfig("x".into()),
             ImcError::UnmappableLayer("y".into()),
             ImcError::ActivityMismatch { layers: 3, densities: 2 },
+            ImcError::NetworkMismatch("z".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -38,6 +38,7 @@ mod area;
 mod config;
 mod energy;
 mod error;
+mod faults;
 mod mapping;
 mod noc;
 mod noise;
@@ -48,6 +49,7 @@ pub use area::{chip_area, AreaConstants, AreaReport};
 pub use config::{EnergyConstants, HardwareConfig, LatencyConstants};
 pub use energy::{Component, CostModel, EnergyBreakdown, InferenceCost};
 pub use error::ImcError;
+pub use faults::{FaultInjector, FaultModel, FaultReport};
 pub use mapping::{ChipMapping, MappedLayer};
 pub use noc::{LinkTraffic, NocModel};
 pub use noise::{perturb_network, quantize_dequantize, DeviceNoise};

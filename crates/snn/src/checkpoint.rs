@@ -2,22 +2,128 @@
 //!
 //! The format is a small self-describing little-endian binary: a magic
 //! string, the parameter count, then each parameter's shape and `f32` data
-//! in network visitation order. Loading validates every shape against the
-//! receiving network, so restoring into a differently-shaped architecture
-//! fails loudly instead of silently corrupting weights.
+//! in network visitation order. Loading validates the whole file — magic,
+//! counts, ranks, sizes and shapes — against the receiving network before
+//! touching a single weight, and every failure mode is a typed
+//! [`CheckpointError`] (never a panic, never a half-restored network), so
+//! callers can distinguish a corrupted file from an architecture mismatch.
 
 use crate::network::Snn;
 use crate::{Result, SnnError};
+use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"DTSNN01\n";
+/// Ranks above this are treated as corruption, not data.
+const MAX_RANK: usize = 8;
+
+/// Typed failure modes of checkpoint I/O. Corrupted, truncated and hostile
+/// files all map to a precise variant; loading never panics and never
+/// allocates based on unvalidated sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// Operation that failed (`"create"`, `"write"`, `"open"`, `"read"`).
+        op: &'static str,
+        /// The OS error rendered as text.
+        message: String,
+    },
+    /// The file does not start with the DT-SNN checkpoint magic.
+    BadMagic,
+    /// The file ends before the declared data does.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Bytes the decoder needed there.
+        needed: usize,
+        /// Bytes actually available in the file.
+        available: usize,
+    },
+    /// A parameter declares a rank beyond anything the tensor library
+    /// produces — corruption, not a real shape.
+    ImplausibleRank {
+        /// Parameter index within the checkpoint.
+        param: usize,
+        /// The declared rank.
+        rank: usize,
+    },
+    /// A parameter's declared dimensions overflow when multiplied — a
+    /// hostile or corrupted size field, rejected before any allocation.
+    OversizedTensor {
+        /// Parameter index within the checkpoint.
+        param: usize,
+        /// The declared dimensions.
+        dims: Vec<usize>,
+    },
+    /// Decoding consumed the declared parameters but bytes remain — the
+    /// file does not parse as exactly one checkpoint.
+    TrailingBytes {
+        /// Unconsumed bytes after the last parameter.
+        extra: usize,
+    },
+    /// The checkpoint stores a different number of parameters than the
+    /// receiving network owns.
+    ParamCountMismatch {
+        /// Parameters in the checkpoint.
+        checkpoint: usize,
+        /// Parameters in the network.
+        network: usize,
+    },
+    /// A parameter's stored shape disagrees with the receiving network's —
+    /// restoring into a different architecture.
+    ShapeMismatch {
+        /// Parameter index (visitation order).
+        param: usize,
+        /// Shape stored in the checkpoint.
+        checkpoint: Vec<usize>,
+        /// Shape the network expects.
+        network: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { op, message } => {
+                write!(f, "checkpoint {op} failed: {message}")
+            }
+            CheckpointError::BadMagic => write!(f, "not a DT-SNN checkpoint (bad magic)"),
+            CheckpointError::Truncated { offset, needed, available } => write!(
+                f,
+                "truncated checkpoint: needed {needed} bytes at offset {offset}, {available} in file"
+            ),
+            CheckpointError::ImplausibleRank { param, rank } => {
+                write!(f, "parameter {param}: implausible tensor rank {rank}")
+            }
+            CheckpointError::OversizedTensor { param, dims } => {
+                write!(f, "parameter {param}: dimensions {dims:?} overflow the address space")
+            }
+            CheckpointError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last parameter")
+            }
+            CheckpointError::ParamCountMismatch { checkpoint, network } => write!(
+                f,
+                "checkpoint has {checkpoint} parameters, network has {network}"
+            ),
+            CheckpointError::ShapeMismatch { param, checkpoint, network } => write!(
+                f,
+                "parameter {param}: checkpoint shape {checkpoint:?} vs network {network:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// Serializes every learnable parameter of `network` to `path`.
 ///
 /// # Errors
 ///
-/// Returns [`SnnError::InvalidConfig`] wrapping any I/O failure.
+/// Returns [`SnnError::Checkpoint`] wrapping [`CheckpointError::Io`] on any
+/// filesystem failure.
 pub fn save_params(network: &mut Snn, path: impl AsRef<Path>) -> Result<()> {
     let mut blob: Vec<u8> = Vec::new();
     blob.extend_from_slice(MAGIC);
@@ -34,75 +140,98 @@ pub fn save_params(network: &mut Snn, path: impl AsRef<Path>) -> Result<()> {
             blob.extend_from_slice(&v.to_le_bytes());
         }
     });
-    let mut file = std::fs::File::create(path.as_ref())
-        .map_err(|e| SnnError::InvalidConfig(format!("cannot create checkpoint: {e}")))?;
-    file.write_all(&blob)
-        .map_err(|e| SnnError::InvalidConfig(format!("cannot write checkpoint: {e}")))?;
+    let io = |op: &'static str| {
+        move |e: std::io::Error| {
+            SnnError::Checkpoint(CheckpointError::Io { op, message: e.to_string() })
+        }
+    };
+    let mut file = std::fs::File::create(path.as_ref()).map_err(io("create"))?;
+    file.write_all(&blob).map_err(io("write"))?;
     Ok(())
 }
 
 /// Restores parameters saved by [`save_params`] into `network`.
 ///
+/// The entire file is validated before any weight is written: on error the
+/// network is untouched.
+///
 /// # Errors
 ///
-/// Returns [`SnnError::InvalidConfig`] when the file is malformed, the
-/// parameter count differs, or any shape disagrees with the network.
+/// Returns [`SnnError::Checkpoint`] with the precise [`CheckpointError`]
+/// variant: `Io` for filesystem failures, `BadMagic`/`Truncated`/
+/// `ImplausibleRank`/`OversizedTensor`/`TrailingBytes` for malformed files,
+/// `ParamCountMismatch`/`ShapeMismatch` for architecture disagreements.
 pub fn load_params(network: &mut Snn, path: impl AsRef<Path>) -> Result<()> {
     let mut blob = Vec::new();
+    let io = |op: &'static str| {
+        move |e: std::io::Error| {
+            SnnError::Checkpoint(CheckpointError::Io { op, message: e.to_string() })
+        }
+    };
     std::fs::File::open(path.as_ref())
-        .map_err(|e| SnnError::InvalidConfig(format!("cannot open checkpoint: {e}")))?
+        .map_err(io("open"))?
         .read_to_end(&mut blob)
-        .map_err(|e| SnnError::InvalidConfig(format!("cannot read checkpoint: {e}")))?;
+        .map_err(io("read"))?;
     let mut cursor = Cursor { blob: &blob, pos: 0 };
-    let magic = cursor.take(8)?;
-    if magic != MAGIC {
-        return Err(SnnError::InvalidConfig("not a DT-SNN checkpoint (bad magic)".into()));
+    if cursor.take(MAGIC.len())? != MAGIC {
+        return Err(CheckpointError::BadMagic.into());
     }
     let count = cursor.u32()? as usize;
     let mut expected = 0usize;
     network.visit_params(&mut |_| expected += 1);
     if count != expected {
-        return Err(SnnError::InvalidConfig(format!(
-            "checkpoint has {count} parameters, network has {expected}"
-        )));
+        return Err(
+            CheckpointError::ParamCountMismatch { checkpoint: count, network: expected }.into()
+        );
     }
     // decode all parameters first so a truncated file cannot leave the
     // network half-restored
     let mut decoded: Vec<(Vec<usize>, Vec<f32>)> = Vec::with_capacity(count);
-    for _ in 0..count {
+    for param in 0..count {
         let rank = cursor.u32()? as usize;
-        if rank > 8 {
-            return Err(SnnError::InvalidConfig(format!("implausible tensor rank {rank}")));
+        if rank > MAX_RANK {
+            return Err(CheckpointError::ImplausibleRank { param, rank }.into());
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
             dims.push(cursor.u32()? as usize);
         }
-        let n: usize = dims.iter().product();
-        let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            data.push(cursor.f32()?);
-        }
+        // size fields are untrusted: reject overflow before computing a byte
+        // count, and locate the bytes before allocating for them
+        let n = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .and_then(|n| n.checked_mul(4).map(|_| n))
+            .ok_or(CheckpointError::OversizedTensor { param, dims: dims.clone() })?;
+        let bytes = cursor.take(n * 4)?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
         decoded.push((dims, data));
+    }
+    if cursor.pos != blob.len() {
+        return Err(CheckpointError::TrailingBytes { extra: blob.len() - cursor.pos }.into());
     }
     // shape check against the live network
     let mut idx = 0;
-    let mut shape_err: Option<String> = None;
+    let mut shape_err: Option<CheckpointError> = None;
     network.visit_params(&mut |p| {
         if shape_err.is_some() {
             return;
         }
         let (dims, _) = &decoded[idx];
         if p.value.dims() != dims.as_slice() {
-            shape_err = Some(format!(
-                "parameter {idx}: checkpoint shape {dims:?} vs network {:?}",
-                p.value.dims()
-            ));
+            shape_err = Some(CheckpointError::ShapeMismatch {
+                param: idx,
+                checkpoint: dims.clone(),
+                network: p.value.dims().to_vec(),
+            });
         }
         idx += 1;
     });
-    if let Some(msg) = shape_err {
-        return Err(SnnError::InvalidConfig(msg));
+    if let Some(e) = shape_err {
+        return Err(e.into());
     }
     // commit
     let mut idx = 0;
@@ -120,23 +249,22 @@ struct Cursor<'a> {
 }
 
 impl Cursor<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8]> {
-        if self.pos + n > self.blob.len() {
-            return Err(SnnError::InvalidConfig("truncated checkpoint".into()));
+    fn take(&mut self, n: usize) -> std::result::Result<&[u8], CheckpointError> {
+        if self.pos.checked_add(n).is_none_or(|end| end > self.blob.len()) {
+            return Err(CheckpointError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available: self.blob.len(),
+            });
         }
         let s = &self.blob[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    fn u32(&mut self) -> std::result::Result<u32, CheckpointError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn f32(&mut self) -> Result<f32> {
-        let b = self.take(4)?;
-        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 }
 
@@ -162,6 +290,20 @@ mod tests {
         ])
     }
 
+    fn params(net: &mut Snn) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        net.visit_params(&mut |p| out.push(p.value.clone()));
+        out
+    }
+
+    /// Unwraps the checkpoint variant or panics with the actual error.
+    fn checkpoint_err(r: Result<()>) -> CheckpointError {
+        match r {
+            Err(SnnError::Checkpoint(e)) => e,
+            other => panic!("expected a checkpoint error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn roundtrip_restores_behaviour() {
         let path = tmp("roundtrip");
@@ -183,7 +325,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_wrong_architecture() {
+    fn rejects_wrong_architecture_with_shape_mismatch() {
         let path = tmp("wrong-arch");
         let mut a = net(1);
         save_params(&mut a, &path).unwrap();
@@ -194,28 +336,162 @@ mod tests {
             Box::new(LifNeuron::new(LifConfig::default())),
             Box::new(Linear::new(8, 3, &mut rng)),
         ]);
-        assert!(load_params(&mut other, &path).is_err());
+        let before = params(&mut other);
+        match checkpoint_err(load_params(&mut other, &path)) {
+            CheckpointError::ShapeMismatch { param, checkpoint, network } => {
+                assert_eq!(param, 0);
+                assert_eq!(checkpoint, vec![6, 4]);
+                assert_eq!(network, vec![8, 4]);
+            }
+            e => panic!("wrong variant: {e:?}"),
+        }
+        assert_eq!(before, params(&mut other), "failed load must not touch the network");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn rejects_garbage_and_truncation() {
+    fn missing_file_is_io() {
+        let mut a = net(1);
+        match checkpoint_err(load_params(&mut a, "/nonexistent/dir/ckpt.bin")) {
+            CheckpointError::Io { op, .. } => assert_eq!(op, "open"),
+            e => panic!("wrong variant: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_bad_magic() {
         let path = tmp("garbage");
         std::fs::write(&path, b"not a checkpoint").unwrap();
         let mut a = net(1);
-        assert!(load_params(&mut a, &path).is_err());
-        // truncated: valid magic + count, no data
+        assert_eq!(checkpoint_err(load_params(&mut a, &path)), CheckpointError::BadMagic);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_file_is_truncated() {
+        let path = tmp("short");
+        // magic + count, then nothing: the first rank read trips
         let mut blob = Vec::new();
         blob.extend_from_slice(MAGIC);
         blob.extend_from_slice(&4u32.to_le_bytes());
         std::fs::write(&path, &blob).unwrap();
-        assert!(load_params(&mut a, &path).is_err());
+        let mut a = net(1);
+        match checkpoint_err(load_params(&mut a, &path)) {
+            CheckpointError::Truncated { offset, needed, available } => {
+                assert_eq!((offset, needed, available), (12, 4, 12));
+            }
+            e => panic!("wrong variant: {e:?}"),
+        }
+        // a file cut mid-data also reports truncation
+        let mut full = Vec::new();
+        let mut b = net(1);
+        let path2 = tmp("cut");
+        save_params(&mut b, &path2).unwrap();
+        full.extend_from_slice(&std::fs::read(&path2).unwrap());
+        std::fs::write(&path2, &full[..full.len() - 5]).unwrap();
+        assert!(matches!(
+            checkpoint_err(load_params(&mut a, &path2)),
+            CheckpointError::Truncated { .. }
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn absurd_rank_is_implausible() {
+        let path = tmp("rank");
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&4u32.to_le_bytes()); // matches net(1)'s count
+        blob.extend_from_slice(&9u32.to_le_bytes()); // rank 9 > MAX_RANK
+        std::fs::write(&path, &blob).unwrap();
+        let mut a = net(1);
+        assert_eq!(
+            checkpoint_err(load_params(&mut a, &path)),
+            CheckpointError::ImplausibleRank { param: 0, rank: 9 }
+        );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn missing_file_errors() {
+    fn overflowing_dims_are_rejected_before_allocation() {
+        // a hostile size field must not trigger a huge allocation (or an
+        // arithmetic overflow panic under test profiles): 4 × u32::MAX dims
+        let path = tmp("oversize");
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&4u32.to_le_bytes());
+        blob.extend_from_slice(&4u32.to_le_bytes()); // rank 4
+        for _ in 0..4 {
+            blob.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
+        std::fs::write(&path, &blob).unwrap();
         let mut a = net(1);
-        assert!(load_params(&mut a, "/nonexistent/dir/ckpt.bin").is_err());
+        match checkpoint_err(load_params(&mut a, &path)) {
+            CheckpointError::OversizedTensor { param: 0, dims } => {
+                assert_eq!(dims, vec![u32::MAX as usize; 4]);
+            }
+            e => panic!("wrong variant: {e:?}"),
+        }
+        // a size that multiplies fine but exceeds the file reports Truncated
+        // without allocating the declared amount first
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&4u32.to_le_bytes());
+        blob.extend_from_slice(&2u32.to_le_bytes()); // rank 2
+        blob.extend_from_slice(&1_000_000u32.to_le_bytes());
+        blob.extend_from_slice(&1_000u32.to_le_bytes()); // 4 GB declared
+        std::fs::write(&path, &blob).unwrap();
+        assert!(matches!(
+            checkpoint_err(load_params(&mut a, &path)),
+            CheckpointError::Truncated { .. }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_count_is_param_count_mismatch() {
+        let path = tmp("count");
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&7u32.to_le_bytes());
+        std::fs::write(&path, &blob).unwrap();
+        let mut a = net(1);
+        assert_eq!(
+            checkpoint_err(load_params(&mut a, &path)),
+            CheckpointError::ParamCountMismatch { checkpoint: 7, network: 4 }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let path = tmp("trailing");
+        let mut a = net(1);
+        save_params(&mut a, &path).unwrap();
+        let mut blob = std::fs::read(&path).unwrap();
+        blob.extend_from_slice(&[0xAB; 3]);
+        std::fs::write(&path, &blob).unwrap();
+        let before = params(&mut a);
+        assert_eq!(
+            checkpoint_err(load_params(&mut a, &path)),
+            CheckpointError::TrailingBytes { extra: 3 }
+        );
+        assert_eq!(before, params(&mut a));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_error_display_and_conversion() {
+        let e = CheckpointError::ShapeMismatch {
+            param: 2,
+            checkpoint: vec![3, 4],
+            network: vec![4, 3],
+        };
+        assert!(e.to_string().contains("parameter 2"));
+        let wrapped = SnnError::from(e.clone());
+        assert!(matches!(&wrapped, SnnError::Checkpoint(inner) if *inner == e));
+        assert!(wrapped.to_string().contains("checkpoint"));
+        assert!(std::error::Error::source(&wrapped).is_some());
     }
 }

@@ -1,3 +1,4 @@
+use crate::checkpoint::CheckpointError;
 use dtsnn_tensor::TensorError;
 use std::fmt;
 
@@ -20,6 +21,8 @@ pub enum SnnError {
     },
     /// The network received an input whose shape disagrees with its layers.
     BadInput(String),
+    /// Saving or loading a checkpoint failed; the payload says exactly how.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for SnnError {
@@ -34,6 +37,7 @@ impl fmt::Display for SnnError {
                 write!(f, "label {label} out of range for {classes} classes")
             }
             SnnError::BadInput(msg) => write!(f, "bad network input: {msg}"),
+            SnnError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -42,6 +46,7 @@ impl std::error::Error for SnnError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SnnError::Tensor(e) => Some(e),
+            SnnError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -50,6 +55,12 @@ impl std::error::Error for SnnError {
 impl From<TensorError> for SnnError {
     fn from(e: TensorError) -> Self {
         SnnError::Tensor(e)
+    }
+}
+
+impl From<CheckpointError> for SnnError {
+    fn from(e: CheckpointError) -> Self {
+        SnnError::Checkpoint(e)
     }
 }
 

@@ -40,7 +40,7 @@ mod surrogate;
 mod train;
 
 pub use ann::{EarlyExitAnn, ExitOutput, Relu};
-pub use checkpoint::{load_params, save_params};
+pub use checkpoint::{load_params, save_params, CheckpointError};
 pub use error::SnnError;
 pub use layer::{Layer, Mode, Param};
 pub use layers::{AvgPool2d, BatchNorm2d, BnStats, Conv2d, Dropout, Flatten, Linear, ResidualBlock};

@@ -48,4 +48,13 @@ done
 echo "== conformance: whole-network gradient checks =="
 cargo test -q -p dtsnn-conformance --test gradient_check
 
+# Robustness stage: the Monte-Carlo fault harness on a tiny net (the
+# 2-trial smoke plus the aggregate thread-invariance check) at both ambient
+# worker counts — trial fan-out must produce bitwise-identical mean/std/CI
+# aggregates regardless of DTSNN_THREADS.
+for threads in 1 4; do
+    echo "== robustness: Monte-Carlo fault smoke (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-core robustness
+done
+
 echo "ci.sh: all green"
