@@ -30,6 +30,11 @@
 //!    (digital parameters untouched), a live model is seed-reproducible and
 //!    thread-count invariant, and severity scaling never leaves the valid
 //!    model domain.
+//! 8. **Sparse ≡ dense execution** — one inference with the event-driven
+//!    sparse kernels forced on (density threshold 1.0) and one with them
+//!    forced off (−1.0) return bitwise-identical outcomes and accumulated
+//!    logits (the gather kernels replay the dense accumulation order
+//!    exactly), under 1 worker and under 4.
 
 use dtsnn_bench::Arch;
 use dtsnn_core::{
@@ -39,7 +44,7 @@ use dtsnn_imc::{
     quantize_dequantize, ChipMapping, DeviceNoise, FaultInjector, FaultModel, HardwareConfig,
 };
 use dtsnn_snn::{load_params, save_params, LifConfig, Mode, ModelConfig, Snn};
-use dtsnn_tensor::{parallel, Tensor, TensorRng};
+use dtsnn_tensor::{parallel, sparse, Tensor, TensorRng};
 
 /// A randomly derived but fully deterministic fuzz configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -376,6 +381,53 @@ fn oracle_fault_injection_invariants(case: &FuzzCase) -> Result<(), String> {
     Ok(())
 }
 
+fn oracle_sparse_equals_dense(case: &FuzzCase) -> Result<(), String> {
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(case.theta).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    let frame = case.frame(0x5BA25E);
+    for threads in [1usize, 4] {
+        let run_at = |threshold: f32| -> Result<_, String> {
+            parallel::with_threads(threads, || {
+                sparse::with_density_threshold(threshold, || {
+                    let mut net = case.build(7)?;
+                    let traced = runner
+                        .run_traced(&mut net, std::slice::from_ref(&frame))
+                        .map_err(|e| e.to_string())?;
+                    Ok((traced.outcome, traced.per_timestep))
+                })
+            })
+        };
+        let dense = run_at(-1.0)?; // sparse path forced off
+        let sparse_forced = run_at(1.0)?; // sparse path forced on everywhere
+        if dense.0 != sparse_forced.0 {
+            return Err(format!(
+                "{threads}-worker outcome differs: dense {:?} vs sparse {:?}",
+                dense.0, sparse_forced.0
+            ));
+        }
+        for (t, (d, s)) in dense.1.iter().zip(&sparse_forced.1).enumerate() {
+            let db: Vec<u32> = d.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u32> = s.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+            if db != sb {
+                return Err(format!(
+                    "{threads}-worker accumulated logits differ bitwise at t={}",
+                    t + 1
+                ));
+            }
+            if d.spike_densities != s.spike_densities {
+                return Err(format!(
+                    "{threads}-worker spike densities differ at t={}",
+                    t + 1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs every oracle against `case`, returning the first violation.
 ///
 /// # Errors
@@ -390,6 +442,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     oracle_batched_compaction_equals_sequential(case)
         .map_err(|e| format!("batched-compaction≡sequential: {e}"))?;
     oracle_fault_injection_invariants(case).map_err(|e| format!("fault-injection: {e}"))?;
+    oracle_sparse_equals_dense(case).map_err(|e| format!("sparse≡dense: {e}"))?;
     Ok(())
 }
 
@@ -459,14 +512,14 @@ impl std::fmt::Display for FuzzFailure {
 /// # Errors
 ///
 /// Returns [`FuzzFailure`] describing the violated equivalence.
-pub fn run_seed(seed: u64) -> Result<(), FuzzFailure> {
+pub fn run_seed(seed: u64) -> Result<(), Box<FuzzFailure>> {
     let original = FuzzCase::from_seed(seed);
     match run_case(&original) {
         Ok(()) => Ok(()),
         Err(first_message) => {
             let minimized = minimize(original, &|c| run_case(c));
             let message = run_case(&minimized).err().unwrap_or(first_message);
-            Err(FuzzFailure { seed, original, minimized, message })
+            Err(Box::new(FuzzFailure { seed, original, minimized, message }))
         }
     }
 }

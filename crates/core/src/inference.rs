@@ -111,15 +111,23 @@ impl DynamicInference {
             )));
         }
         network.reset_state();
+        // Batch the frames once, outside the loop: `to_batch1` copies, and
+        // the timestep loop itself must stay allocation-free (the network's
+        // workspace arena covers everything inside `forward_timestep`).
+        let batched: Vec<Tensor> = frames.iter().map(to_batch1).collect::<Result<_>>()?;
         let mut accumulated: Option<Tensor> = None;
         let mut scores = Vec::with_capacity(self.max_timesteps);
         let mut per_timestep = Vec::with_capacity(self.max_timesteps);
         for t in 1..=self.max_timesteps {
-            let frame = if frames.len() == 1 { &frames[0] } else { &frames[t - 1] };
-            let input = to_batch1(frame)?;
-            let logits = network.forward_timestep(&input, Mode::Eval)?;
+            let input = if batched.len() == 1 { &batched[0] } else { &batched[t - 1] };
+            let logits = network.forward_timestep(input, Mode::Eval)?;
             match &mut accumulated {
-                Some(acc) => acc.axpy(1.0, &logits)?,
+                Some(acc) => {
+                    acc.axpy(1.0, &logits)?;
+                    // logits came from the network's arena; hand them back so
+                    // the next timestep reuses the buffer.
+                    network.recycle(logits);
+                }
                 None => accumulated = Some(logits),
             }
             let acc = accumulated.as_ref().expect("accumulated set above");
@@ -147,6 +155,11 @@ impl DynamicInference {
                     scores,
                     probabilities: probs.data().to_vec(),
                 };
+                // The accumulator buffer also came from the arena (first
+                // timestep's logits); park it for the next sample.
+                if let Some(acc) = accumulated.take() {
+                    network.recycle(acc);
+                }
                 return Ok(DynamicTrace { outcome, per_timestep });
             }
         }

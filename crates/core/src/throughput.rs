@@ -9,6 +9,11 @@
 //! happen **before** the clock starts, so the timed span covers inference
 //! work only. Reported accuracy and mean timesteps are bitwise identical to
 //! the corresponding evaluation harness.
+//!
+//! Each pooled clone owns a private [`dtsnn_tensor::Workspace`] (a cloned
+//! `Snn` starts with a fresh arena), so the timed loop is allocation-free
+//! after each worker's first sample warms its size classes — no locking, no
+//! sharing between workers.
 
 use crate::harness::DynamicEvaluation;
 use crate::inference::{static_inference, DynamicInference};

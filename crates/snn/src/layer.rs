@@ -2,7 +2,7 @@
 //! per-timestep forward passes and reverse-time backpropagation.
 
 use crate::Result;
-use dtsnn_tensor::Tensor;
+use dtsnn_tensor::{Tensor, Workspace};
 
 /// Whether a pass updates training-only state (batch statistics, dropout
 /// masks, backward caches).
@@ -63,6 +63,24 @@ pub trait Layer: Send + Sync {
     /// Returns an error if the input shape disagrees with the layer.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
 
+    /// Processes one timestep of input, drawing scratch and output buffers
+    /// from the workspace arena where the layer supports it.
+    ///
+    /// This is the zero-allocation Eval path: overriding layers must produce
+    /// output **bitwise identical** to [`Layer::forward`] (the conformance
+    /// golden traces pin this), and should delegate to `forward` in
+    /// [`Mode::Train`], where backward caches make buffer reuse unsafe. The
+    /// default simply delegates, so layers without an arena-backed kernel
+    /// stay correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape disagrees with the layer.
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let _ = ws;
+        self.forward(input, mode)
+    }
+
     /// Backpropagates one timestep (reverse order), returning `∂L/∂input`.
     ///
     /// # Errors
@@ -70,6 +88,16 @@ pub trait Layer: Send + Sync {
     /// Returns [`crate::SnnError::MissingForwardCache`] when called more times
     /// than `forward`.
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Clears sequence state like [`Layer::reset_state`], parking any
+    /// retired carried buffers (e.g. LIF membranes) in the workspace so the
+    /// next sample's warm-up takes hit the freelist instead of allocating.
+    /// Container layers must forward the call to their children. The default
+    /// delegates to `reset_state`.
+    fn reset_state_ws(&mut self, ws: &mut Workspace) {
+        let _ = ws;
+        self.reset_state();
+    }
 
     /// Clears sequence state (membranes, caches) before a new sample.
     fn reset_state(&mut self);

@@ -10,8 +10,8 @@ use crate::layer::{Layer, Mode, Param};
 use crate::lif::{LifConfig, LifNeuron};
 use crate::{Result, SnnError};
 use dtsnn_tensor::{
-    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, im2col, Conv2dSpec, PoolSpec,
-    Tensor, TensorRng,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_ws, conv2d, conv2d_backward, conv2d_ws, im2col,
+    linear_ws, Conv2dSpec, PoolSpec, Tensor, TensorError, TensorRng, Workspace,
 };
 
 // ===========================================================================
@@ -72,6 +72,13 @@ impl Layer for Conv2d {
             self.inputs.push(input.clone());
         }
         Ok(out)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        Ok(conv2d_ws(input, &self.weight.value, Some(&self.bias.value), &self.spec, ws)?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -153,6 +160,13 @@ impl Layer for Linear {
             self.inputs.push(input.clone());
         }
         Ok(out)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        Ok(linear_ws(input, &self.weight.value, &self.bias.value, ws)?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -306,6 +320,24 @@ impl BatchNorm2d {
         }
         Ok((d[0], d[1], d[2], d[3]))
     }
+
+    /// Eval-mode affine transform with the slot-`ti` EMA statistics; writes
+    /// every element of `dst` exactly once (shared by `forward` and
+    /// `forward_ws`, which keeps the two paths bitwise identical).
+    fn eval_into(&self, input: &Tensor, n: usize, c: usize, plane: usize, ti: usize, dst: &mut [f32]) {
+        for ci in 0..c {
+            let inv_std = 1.0 / (self.running_var[ti][ci] + self.eps).sqrt();
+            let mean = self.running_mean[ti][ci];
+            let g = self.gamma.value.data()[ci];
+            let b = self.beta.value.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for p in 0..plane {
+                    dst[base + p] = g * (input.data()[base + p] - mean) * inv_std + b;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -376,22 +408,28 @@ impl Layer for BatchNorm2d {
                     self.ensure_timestep(0);
                 }
                 let ti = slot.min(self.running_mean.len() - 1);
-                for ci in 0..c {
-                    let inv_std = 1.0 / (self.running_var[ti][ci] + self.eps).sqrt();
-                    let mean = self.running_mean[ti][ci];
-                    let g = self.gamma.value.data()[ci];
-                    let b = self.beta.value.data()[ci];
-                    for ni in 0..n {
-                        let base = (ni * c + ci) * plane;
-                        for p in 0..plane {
-                            out.data_mut()[base + p] =
-                                g * (input.data()[base + p] - mean) * inv_std + b;
-                        }
-                    }
-                }
+                self.eval_into(input, n, c, plane, ti, out.data_mut());
             }
         }
         Ok(out)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let (n, c, h, w) = self.check_input(input)?;
+        let plane = h * w;
+        let t = self.t_index;
+        self.t_index += 1;
+        let slot = self.slot(t);
+        if self.running_mean.is_empty() {
+            self.ensure_timestep(0);
+        }
+        let ti = slot.min(self.running_mean.len() - 1);
+        let mut out = ws.take(input.len());
+        self.eval_into(input, n, c, plane, ti, &mut out);
+        Tensor::from_vec(out, input.dims()).map_err(SnnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -480,6 +518,13 @@ impl Layer for AvgPool2d {
         Ok(out)
     }
 
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        Ok(avg_pool2d_ws(input, &self.spec, ws)?)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let hw = self.input_hw.pop().ok_or(SnnError::MissingForwardCache("AvgPool2d"))?;
         Ok(avg_pool2d_backward(grad_out, &self.spec, hw)?)
@@ -525,6 +570,21 @@ impl Layer for Flatten {
             self.input_dims.push(d.to_vec());
         }
         Ok(input.reshape(&[n, rest])?)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let d = input.dims();
+        if d.len() < 2 {
+            return Err(SnnError::BadInput(format!("flatten expects rank ≥ 2, got {d:?}")));
+        }
+        let n = d[0];
+        let rest: usize = d[1..].iter().product();
+        let mut out = ws.take(input.len());
+        out.copy_from_slice(input.data());
+        Tensor::from_vec(out, &[n, rest]).map_err(SnnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -582,6 +642,17 @@ impl Layer for Dropout {
         let out = input.mul(&mask)?;
         self.masks.push(mask);
         Ok(out)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        // Eval dropout is the identity; copy through an arena buffer so the
+        // caller's recycle discipline stays uniform.
+        let mut out = ws.take(input.len());
+        out.copy_from_slice(input.data());
+        Tensor::from_vec(out, input.dims()).map_err(SnnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -663,6 +734,52 @@ impl Layer for ResidualBlock {
         self.join.forward(&joined, mode)
     }
 
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        // Run both branches through the arena, recycling each intermediate as
+        // soon as the next layer has consumed it. `None` stands for "still
+        // the block input", which must not be recycled (the caller owns it).
+        let mut m: Option<Tensor> = None;
+        for l in &mut self.main {
+            let y = l.forward_ws(m.as_ref().unwrap_or(input), mode, ws)?;
+            if let Some(prev) = m.take() {
+                ws.recycle_tensor(prev);
+            }
+            m = Some(y);
+        }
+        let mut s: Option<Tensor> = None;
+        for l in &mut self.shortcut {
+            let y = l.forward_ws(s.as_ref().unwrap_or(input), mode, ws)?;
+            if let Some(prev) = s.take() {
+                ws.recycle_tensor(prev);
+            }
+            s = Some(y);
+        }
+        let (mt, st) = (m.as_ref().unwrap_or(input), s.as_ref().unwrap_or(input));
+        if mt.dims() != st.dims() {
+            return Err(SnnError::from(TensorError::ShapeMismatch {
+                expected: mt.dims().to_vec(),
+                actual: st.dims().to_vec(),
+            }));
+        }
+        let mut j = ws.take(mt.len());
+        for ((o, &a), &b) in j.iter_mut().zip(mt.data()).zip(st.data()) {
+            *o = a + b;
+        }
+        let joined = Tensor::from_vec(j, mt.dims()).map_err(SnnError::from)?;
+        if let Some(t) = m {
+            ws.recycle_tensor(t);
+        }
+        if let Some(t) = s {
+            ws.recycle_tensor(t);
+        }
+        let out = self.join.forward_ws(&joined, mode, ws)?;
+        ws.recycle_tensor(joined);
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let g = self.join.backward(grad_out)?;
         let mut gm = g.clone();
@@ -684,6 +801,16 @@ impl Layer for ResidualBlock {
             l.reset_state();
         }
         self.join.reset_state();
+    }
+
+    fn reset_state_ws(&mut self, ws: &mut Workspace) {
+        for l in &mut self.main {
+            l.reset_state_ws(ws);
+        }
+        for l in &mut self.shortcut {
+            l.reset_state_ws(ws);
+        }
+        self.join.reset_state_ws(ws);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::{Result, SnnError, Surrogate};
-use dtsnn_tensor::Tensor;
+use dtsnn_tensor::{Tensor, TensorError, Workspace};
 
 /// How the membrane potential is reset after a spike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -192,6 +192,78 @@ impl Layer for LifNeuron {
             self.caches.push(LifCache { u_pre, spikes: spikes.clone() });
         }
         Ok(spikes)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train {
+            // Backward caches keep u_pre/spikes alive across timesteps, so
+            // arena reuse is off the table; the dense path owns Train.
+            return self.forward(input, mode);
+        }
+        let tau = self.config.tau;
+        let v_th = self.config.v_th;
+        // u_pre = τ·u + input, fused into one arena buffer. Per element this
+        // is mul-then-add exactly like `scale` + `axpy(1.0, ·)` (safe Rust
+        // emits no FMA), so the result is bitwise identical to `forward`.
+        let mut u_pre = ws.take(input.len());
+        match &self.membrane {
+            Some(u) => {
+                if u.dims() != input.dims() {
+                    ws.recycle(u_pre);
+                    return Err(SnnError::from(TensorError::ShapeMismatch {
+                        expected: u.dims().to_vec(),
+                        actual: input.dims().to_vec(),
+                    }));
+                }
+                for ((o, &m), &x) in u_pre.iter_mut().zip(u.data()).zip(input.data()) {
+                    *o = m * tau + x;
+                }
+            }
+            None => u_pre.copy_from_slice(input.data()),
+        }
+        let mut spikes = ws.take(input.len());
+        match self.config.smooth_spike {
+            None => {
+                for (o, &u) in spikes.iter_mut().zip(&u_pre) {
+                    *o = if u > v_th { 1.0 } else { 0.0 };
+                }
+            }
+            Some(b) => {
+                for (o, &u) in spikes.iter_mut().zip(&u_pre) {
+                    *o = 0.5 * ((b * (u - v_th)).tanh() + 1.0);
+                }
+            }
+        }
+        // Reset in place: the u_pre buffer becomes the carried membrane, and
+        // the previous membrane's buffer goes back to the arena.
+        match self.config.reset {
+            ResetMode::Zero => {
+                for (u, &s) in u_pre.iter_mut().zip(&spikes) {
+                    *u *= 1.0 - s;
+                }
+            }
+            ResetMode::Subtract => {
+                for (u, &s) in u_pre.iter_mut().zip(&spikes) {
+                    *u -= v_th * s;
+                }
+            }
+        }
+        let next = Tensor::from_vec(u_pre, input.dims()).map_err(SnnError::from)?;
+        if let Some(old) = self.membrane.take() {
+            ws.recycle_tensor(old);
+        }
+        self.membrane = Some(next);
+        let spikes = Tensor::from_vec(spikes, input.dims()).map_err(SnnError::from)?;
+        self.last_density = spikes.density();
+        spikes.density_rows_into(&mut self.last_row_densities);
+        Ok(spikes)
+    }
+
+    fn reset_state_ws(&mut self, ws: &mut Workspace) {
+        if let Some(u) = self.membrane.take() {
+            ws.recycle_tensor(u);
+        }
+        self.reset_state();
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

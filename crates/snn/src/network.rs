@@ -3,7 +3,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::{Result, SnnError};
-use dtsnn_tensor::Tensor;
+use dtsnn_tensor::{Tensor, Workspace, WorkspaceStats};
 
 /// A named layer inside an [`Snn`], exposed for reports and hardware mapping.
 pub struct LayerNode {
@@ -61,6 +61,10 @@ pub struct Snn {
     /// Running sums of spike density per spiking layer.
     density_sums: Vec<f64>,
     density_obs: usize,
+    /// Scratch arena for the Eval-mode timestep loop. Owned per network so
+    /// no locking is needed; a cloned network starts with a fresh, empty
+    /// arena (the clone-pool harness hands each worker its own clone).
+    workspace: Workspace,
 }
 
 impl Clone for Snn {
@@ -69,6 +73,7 @@ impl Clone for Snn {
             layers: self.layers.clone(),
             density_sums: self.density_sums.clone(),
             density_obs: self.density_obs,
+            workspace: Workspace::new(),
         }
     }
 }
@@ -83,7 +88,12 @@ impl Snn {
     /// Builds a network from named layers.
     pub fn new(layers: Vec<LayerNode>) -> Self {
         let spiking = layers.iter().filter(|n| n.layer.last_spike_density().is_some()).count();
-        Snn { layers, density_sums: vec![0.0; spiking], density_obs: 0 }
+        Snn {
+            layers,
+            density_sums: vec![0.0; spiking],
+            density_obs: 0,
+            workspace: Workspace::new(),
+        }
     }
 
     /// Convenience constructor that auto-names layers `"<kind><idx>"`.
@@ -114,9 +124,14 @@ impl Snn {
     }
 
     /// Clears all sequence state; call before each new input sequence.
+    ///
+    /// Retired carried buffers (LIF membranes) are parked in the network's
+    /// workspace, so the next sample's timestep loop reuses them instead of
+    /// allocating.
     pub fn reset_state(&mut self) {
+        let ws = &mut self.workspace;
         for node in &mut self.layers {
-            node.layer.reset_state();
+            node.layer.reset_state_ws(ws);
         }
     }
 
@@ -143,21 +158,43 @@ impl Snn {
 
     /// Runs one timestep through the whole network, returning logits.
     ///
+    /// In [`Mode::Eval`] every layer runs its workspace-backed kernel
+    /// ([`Layer::forward_ws`]) and each intermediate activation is recycled
+    /// as soon as the next layer has consumed it, so a warmed-up loop
+    /// performs no heap allocation ([`Snn::workspace_stats`] proves it).
+    /// The returned logits come from the arena too — callers that iterate
+    /// timesteps should hand them back via [`Snn::recycle`] once folded.
+    /// [`Mode::Train`] takes the plain [`Layer::forward`] path, whose
+    /// backward caches make buffer reuse unsafe. Both paths are bitwise
+    /// identical.
+    ///
     /// # Errors
     ///
     /// Propagates layer shape errors.
     pub fn forward_timestep(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut x = input.clone();
+        let ws = &mut self.workspace;
+        let mut x: Option<Tensor> = None;
         let mut spiking_idx = 0;
         for node in &mut self.layers {
-            x = node.layer.forward(&x, mode)?;
+            let y = node.layer.forward_ws(x.as_ref().unwrap_or(input), mode, ws)?;
+            if let Some(prev) = x.take() {
+                if mode == Mode::Eval {
+                    // Train-mode intermediates may share history with layer
+                    // caches conceptually; only Eval buffers re-enter the arena.
+                    ws.recycle_tensor(prev);
+                }
+            }
+            x = Some(y);
             if let Some(d) = node.layer.last_spike_density() {
                 self.density_sums[spiking_idx] += d as f64;
                 spiking_idx += 1;
             }
         }
         self.density_obs += 1;
-        Ok(x)
+        match x {
+            Some(out) => Ok(out),
+            None => Ok(input.clone()),
+        }
     }
 
     /// Backpropagates one timestep (call in reverse timestep order).
@@ -277,6 +314,25 @@ impl Snn {
         self.density_obs += obs;
     }
 
+    /// Allocation counters of the network's scratch arena (see
+    /// [`WorkspaceStats`]): a warmed-up Eval loop shows `misses == 0`.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
+    }
+
+    /// Zeroes the arena's allocation counters — call after a warm-up pass,
+    /// before the span whose allocations you want to count.
+    pub fn reset_workspace_stats(&mut self) {
+        self.workspace.reset_stats();
+    }
+
+    /// Parks a tensor (typically logits returned by
+    /// [`Snn::forward_timestep`]) back into the network's arena so the next
+    /// timestep can reuse its buffer.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.workspace.recycle_tensor(t);
+    }
+
     /// Returns and resets the accumulated spike-activity statistics.
     pub fn take_activity(&mut self) -> SpikeActivity {
         let obs = self.density_obs.max(1);
@@ -349,13 +405,13 @@ mod tests {
 
         // direct accumulation over two samples
         let mut direct = net.clone();
-        direct.forward_sequence(&[x.clone()], 3, Mode::Eval).unwrap();
-        direct.forward_sequence(&[x.clone()], 2, Mode::Eval).unwrap();
+        direct.forward_sequence(std::slice::from_ref(&x), 3, Mode::Eval).unwrap();
+        direct.forward_sequence(std::slice::from_ref(&x), 2, Mode::Eval).unwrap();
         let expect = direct.take_activity();
 
         // per-sample take + absorb in sample order must match exactly
         let mut worker = net.clone();
-        worker.forward_sequence(&[x.clone()], 3, Mode::Eval).unwrap();
+        worker.forward_sequence(std::slice::from_ref(&x), 3, Mode::Eval).unwrap();
         let (s0, o0) = worker.take_raw_activity();
         worker.forward_sequence(&[x], 2, Mode::Eval).unwrap();
         let (s1, o1) = worker.take_raw_activity();
@@ -420,6 +476,53 @@ mod tests {
         assert!(gnorm > 0.0);
         // extra backward → cache exhausted
         assert!(net.backward_timestep(&Tensor::ones(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn workspace_forward_matches_plain_layer_chain_bitwise() {
+        // forward_timestep routes through the arena-backed forward_ws path;
+        // calling each layer's plain forward() by hand is the reference.
+        let mut rng = TensorRng::seed_from(11);
+        let mut net = tiny_net(&mut rng);
+        let mut reference = net.clone();
+        let frames: Vec<Tensor> =
+            (0..3).map(|_| Tensor::randn(&[2, 2, 2, 2], 0.0, 1.5, &mut rng)).collect();
+        net.reset_state();
+        reference.reset_state();
+        for f in &frames {
+            let got = net.forward_timestep(f, Mode::Eval).unwrap();
+            let mut want = f.clone();
+            for node in &mut reference.layers {
+                want = node.layer.forward(&want, Mode::Eval).unwrap();
+            }
+            let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb);
+            net.recycle(got);
+        }
+    }
+
+    #[test]
+    fn warmed_timestep_loop_allocates_nothing() {
+        let mut rng = TensorRng::seed_from(12);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.5, &mut rng);
+        // warm-up: one full sample populates every size class
+        net.reset_state();
+        for _ in 0..2 {
+            let out = net.forward_timestep(&x, Mode::Eval).unwrap();
+            net.recycle(out);
+        }
+        // steady state: fresh sample, same shapes → zero misses
+        net.reset_state();
+        net.reset_workspace_stats();
+        for _ in 0..4 {
+            let out = net.forward_timestep(&x, Mode::Eval).unwrap();
+            net.recycle(out);
+        }
+        let stats = net.workspace_stats();
+        assert!(stats.takes > 0);
+        assert_eq!(stats.misses, 0, "warmed Eval loop must not allocate: {stats:?}");
     }
 
     #[test]

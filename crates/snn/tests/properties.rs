@@ -159,7 +159,7 @@ fn network_eval_is_deterministic_and_stateless_across_resets() {
             Box::new(Linear::new(6, 3, &mut rng)),
         ]);
         let x = Tensor::randn(&[1, 2, 2, 2], 0.5, 0.5, &mut rng);
-        let a = net.forward_sequence(&[x.clone()], 3, Mode::Eval).unwrap();
+        let a = net.forward_sequence(std::slice::from_ref(&x), 3, Mode::Eval).unwrap();
         let b = net.forward_sequence(&[x], 3, Mode::Eval).unwrap();
         for (ya, yb) in a.iter().zip(&b) {
             assert_eq!(ya, yb, "case {case}");

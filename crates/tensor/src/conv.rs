@@ -11,7 +11,8 @@
 //! sample stays on one worker, in serial order), so results are bitwise
 //! identical for any thread count.
 
-use crate::{parallel, Result, Tensor, TensorError};
+use crate::linalg::{add_bias_rows, matmul_dense};
+use crate::{parallel, sparse, Result, Tensor, TensorError, Workspace};
 
 /// Geometry of a 2-D convolution (square kernel, symmetric padding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,17 +106,32 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
         });
     }
     let (oh, ow) = spec.output_hw(h, w)?;
-    let k = spec.kernel;
-    let pl = spec.patch_len();
     let rows = n * oh * ow;
-    let mut cols = Tensor::zeros(&[rows, pl]);
+    let mut cols = Tensor::zeros(&[rows, spec.patch_len()]);
     if rows == 0 {
         return Ok(cols);
     }
-    let src = input.data();
+    im2col_core(input.data(), [n, c, h, w], spec, oh, ow, cols.data_mut());
+    Ok(cols)
+}
+
+/// Writes the im2col unfolding into a pre-zeroed `[n*oh*ow, patch_len]`
+/// buffer (padding taps stay zero). Shared by [`im2col`] and the
+/// workspace-backed dense path of [`conv2d_ws`].
+fn im2col_core(
+    src: &[f32],
+    [n, c, h, w]: [usize; 4],
+    spec: &Conv2dSpec,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
+    let k = spec.kernel;
+    let pl = spec.patch_len();
+    let rows = n * oh * ow;
     let pad = spec.padding as isize;
     let work = rows.saturating_mul(pl);
-    parallel::for_each_row_chunk(cols.data_mut(), pl, rows, work, |first_row, dst| {
+    parallel::for_each_row_chunk(dst, pl, rows, work, |first_row, dst| {
         for (local, patch) in dst.chunks_mut(pl).enumerate() {
             let flat = first_row + local;
             let ox = flat % ow;
@@ -143,7 +159,6 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
             }
         }
     });
-    Ok(cols)
 }
 
 /// Folds a column-matrix gradient back onto the input: the adjoint of
@@ -227,15 +242,107 @@ pub fn conv2d(
     let (oh, ow) = spec.output_hw(h, w)?;
     let cols = im2col(input, spec)?;
     // [n*oh*ow, pl] × [pl, c_out] → [n*oh*ow, c_out]. Using plain matmul with
-    // the column matrix on the left lets the kernel skip its zero entries —
-    // a large win when the input is a sparse spike tensor.
+    // the column matrix on the left lets the kernel dispatch on the column
+    // matrix's spike density — sparse inputs take the event-driven path.
     let w_t = weight.transpose2d()?;
     let mut out_mat = cols.matmul(&w_t)?;
     if let Some(b) = bias {
-        out_mat = out_mat.add_row_bias(b)?;
+        if b.dims() != [spec.out_channels] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![spec.out_channels],
+                actual: b.dims().to_vec(),
+            });
+        }
+        add_bias_rows(out_mat.data_mut(), spec.out_channels, n * oh * ow, b.data());
     }
     let out = rows_to_nchw(&out_mat, n, spec.out_channels, oh, ow);
     Ok((out, cols))
+}
+
+/// Eval-mode convolution forward with every intermediate drawn from `ws`:
+/// the transposed weight, the output row matrix, the NCHW output buffer,
+/// and — on the dense branch — the im2col column matrix. Below the sparse
+/// dispatch threshold the column matrix is never materialized at all: a
+/// [`crate::SpikeMatrix`] im2col build emits only the active patch entries
+/// and the product becomes per-spike row adds.
+///
+/// Bitwise identical to [`conv2d`] (the accumulation order per output
+/// element is the same on every branch); unlike `conv2d` it does not return
+/// the column matrix, so it is for inference only — training uses
+/// [`conv2d`] and keeps `cols` for the backward pass.
+///
+/// # Errors
+///
+/// Propagates shape and geometry errors from [`im2col`] / matmul, plus
+/// [`TensorError::ShapeMismatch`] for a weight or bias that disagrees with
+/// `spec`.
+pub fn conv2d_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let [n, c, h, w] = dims4(input)?;
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, spec.in_channels, h, w],
+            actual: input.dims().to_vec(),
+        });
+    }
+    if weight.dims() != spec.weight_dims() {
+        return Err(TensorError::ShapeMismatch {
+            expected: spec.weight_dims().to_vec(),
+            actual: weight.dims().to_vec(),
+        });
+    }
+    let co = spec.out_channels;
+    if let Some(b) = bias {
+        if b.dims() != [co] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![co],
+                actual: b.dims().to_vec(),
+            });
+        }
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let rows = n * oh * ow;
+    let pl = spec.patch_len();
+    let mut w_t = ws.take(pl * co);
+    transpose_into(weight.data(), co, pl, &mut w_t);
+    let mut out_mat = ws.take(rows * co);
+    if rows > 0 {
+        if input.density() <= sparse::density_threshold() {
+            let mut sm = ws.take_spike();
+            sm.build_from_im2col(input, spec)?;
+            sm.matmul_into(&w_t, co, &mut out_mat);
+            ws.recycle_spike(sm);
+        } else {
+            let mut cols = ws.take(rows * pl);
+            im2col_core(input.data(), [n, c, h, w], spec, oh, ow, &mut cols);
+            matmul_dense(&cols, rows, pl, &w_t, co, &mut out_mat);
+            ws.recycle(cols);
+        }
+        if let Some(b) = bias {
+            add_bias_rows(&mut out_mat, co, rows, b.data());
+        }
+    }
+    ws.recycle(w_t);
+    let mut out = ws.take(n * co * oh * ow);
+    rows_to_nchw_core(&out_mat, n, co, oh, ow, &mut out);
+    ws.recycle(out_mat);
+    Tensor::from_vec(out, &[n, co, oh, ow])
+}
+
+/// Transposes a row-major `[r, c]` buffer into `out[c, r]`.
+fn transpose_into(src: &[f32], r: usize, c: usize, out: &mut [f32]) {
+    debug_assert_eq!(src.len(), r * c);
+    debug_assert_eq!(out.len(), r * c);
+    for i in 0..r {
+        for (j, &v) in src[i * c..(i + 1) * c].iter().enumerate() {
+            out[j * r + i] = v;
+        }
+    }
 }
 
 /// Gradients of a convolution.
@@ -275,13 +382,18 @@ pub fn conv2d_backward(
 /// `[n*oh*ow, c]` row matrix → `[n, c, oh, ow]`.
 fn rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    rows_to_nchw_core(mat.data(), n, c, oh, ow, out.data_mut());
+    out
+}
+
+/// Core of [`rows_to_nchw`] over raw buffers (every element written once).
+fn rows_to_nchw_core(src: &[f32], n: usize, c: usize, oh: usize, ow: usize, dst: &mut [f32]) {
     let sample_len = c * oh * ow;
     if n == 0 || sample_len == 0 {
-        return out;
+        return;
     }
-    let src = mat.data();
     let work = n.saturating_mul(sample_len);
-    parallel::for_each_row_chunk(out.data_mut(), sample_len, n, work, |first_n, dst| {
+    parallel::for_each_row_chunk(dst, sample_len, n, work, |first_n, dst| {
         for (local_ni, sample) in dst.chunks_mut(sample_len).enumerate() {
             let ni = first_n + local_ni;
             for oy in 0..oh {
@@ -294,7 +406,6 @@ fn rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tenso
             }
         }
     });
-    out
 }
 
 /// `[n, c, oh, ow]` → `[n*oh*ow, c]` row matrix.
@@ -478,6 +589,74 @@ mod tests {
                 assert_eq!(sb, pb, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn sparse_dense_conv2d_ws_matches_conv2d_bitwise() {
+        // conv2d_ws must reproduce conv2d bit for bit on both dispatch
+        // branches, for binary/ternary/dense inputs, at 1 and 4 threads,
+        // and across repeated passes over one warmed workspace.
+        let mut rng = TensorRng::seed_from(91);
+        let spec = Conv2dSpec::new(3, 5, 3, 1, 1).unwrap();
+        let weight = Tensor::randn(&[5, spec.patch_len()], 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn(&[5], 0.0, 0.1, &mut rng);
+        for kind in ["binary", "ternary", "dense"] {
+            let mut x = Tensor::zeros(&[2, 3, 8, 8]);
+            for v in x.data_mut().iter_mut() {
+                match kind {
+                    "binary" => {
+                        if rng.bernoulli(0.1) {
+                            *v = 1.0;
+                        }
+                    }
+                    "ternary" => {
+                        if rng.bernoulli(0.1) {
+                            *v = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+                        }
+                    }
+                    _ => *v = rng.uniform(-1.0, 1.0),
+                }
+            }
+            for threads in [1, 4] {
+                crate::parallel::with_threads(threads, || {
+                    let (want, _) = sparse::with_density_threshold(-1.0, || {
+                        conv2d(&x, &weight, Some(&bias), &spec).unwrap()
+                    });
+                    let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+                    for threshold in [-1.0f32, 1.0] {
+                        let mut ws = crate::Workspace::new();
+                        for pass in 0..2 {
+                            let got = sparse::with_density_threshold(threshold, || {
+                                conv2d_ws(&x, &weight, Some(&bias), &spec, &mut ws).unwrap()
+                            });
+                            assert_eq!(got.dims(), want.dims());
+                            let gb: Vec<u32> =
+                                got.data().iter().map(|v| v.to_bits()).collect();
+                            assert_eq!(
+                                wb, gb,
+                                "{kind} threads={threads} threshold={threshold} pass={pass}"
+                            );
+                            ws.recycle_tensor(got);
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_ws_validates_shapes() {
+        let mut ws = crate::Workspace::new();
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1).unwrap();
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let w_good = Tensor::zeros(&[3, spec.patch_len()]);
+        let w_bad = Tensor::zeros(&[3, spec.patch_len() + 1]);
+        assert!(conv2d_ws(&x, &w_bad, None, &spec, &mut ws).is_err());
+        let b_bad = Tensor::zeros(&[4]);
+        assert!(conv2d_ws(&x, &w_good, Some(&b_bad), &spec, &mut ws).is_err());
+        let x_bad = Tensor::zeros(&[1, 3, 4, 4]);
+        assert!(conv2d_ws(&x_bad, &w_good, None, &spec, &mut ws).is_err());
+        assert!(conv2d_ws(&x, &w_good, None, &spec, &mut ws).is_ok());
     }
 
     #[test]

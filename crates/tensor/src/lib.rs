@@ -13,6 +13,13 @@
 //! `1` (exactly the old serial path) or any larger worker count, and exactly
 //! reproducible across runs.
 //!
+//! Spike-shaped operands additionally take an **event-driven sparse path**
+//! ([`sparse`]): the matmul/conv entry points measure operand density and
+//! switch to gather-accumulate kernels over a [`SpikeMatrix`] below a
+//! configurable threshold, preserving the accumulation order so dense and
+//! sparse results stay bitwise identical. The [`Workspace`] arena makes the
+//! Eval-mode timestep loop allocation-free after one warm-up pass.
+//!
 //! # Example
 //!
 //! ```
@@ -38,15 +45,20 @@ pub mod parallel;
 mod pool;
 mod rng;
 mod shape;
+pub mod sparse;
 mod tensor;
+mod workspace;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use conv::{col2im, conv2d, conv2d_backward, conv2d_ws, im2col, Conv2dSpec};
 pub use error::TensorError;
+pub use linalg::linear_ws;
 pub use ops::{log_softmax_rows, softmax_rows};
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, PoolSpec};
+pub use pool::{avg_pool2d, avg_pool2d_backward, avg_pool2d_ws, global_avg_pool, PoolSpec};
 pub use rng::TensorRng;
 pub use shape::Shape;
+pub use sparse::SpikeMatrix;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,15 +1,123 @@
 //! Matrix multiplication kernels.
 //!
-//! Cache-friendly (i,k,j) loop ordering, row-partitioned across the
+//! Cache-blocked (i,k,j) loop ordering, row-partitioned across the
 //! [`crate::parallel`] worker pool. Each worker owns a disjoint slice of
-//! output rows, so every output element is accumulated in exactly the same
-//! order as the serial loop — results are bitwise identical for any
+//! output rows and every output element accumulates over `k` in ascending
+//! order regardless of blocking, so results are bitwise identical for any
 //! `DTSNN_THREADS` value.
+//!
+//! Each public entry point measures the left operand's spike density and
+//! dispatches to the event-driven [`crate::SpikeMatrix`] gather kernels when
+//! it is at or below [`crate::sparse::density_threshold`]; the sparse path
+//! preserves the per-element accumulation order exactly, so dispatch never
+//! changes a single output bit (see the `sparse` module docs for the
+//! argument).
 
-use crate::{parallel, Result, Tensor, TensorError};
+use crate::{parallel, sparse, Result, SpikeMatrix, Tensor, TensorError, Workspace};
+
+/// K-dimension tile: one tile of `b` rows (`BLOCK_K × BLOCK_N` floats) stays
+/// cache-hot across all output rows of a worker's chunk. Per output element
+/// the tiles are visited in ascending order, so blocking is bitwise neutral.
+const BLOCK_K: usize = 64;
+/// N-dimension tile (floats): bounds the write window per pass.
+const BLOCK_N: usize = 256;
+
+/// Dense blocked `out[m,n] += a[m,k] × b[k,n]` over a zeroed output buffer.
+/// Zero entries of `a` are skipped (bitwise neutral; a large win on spike
+/// operands that stayed above the sparse-dispatch threshold).
+pub(crate) fn matmul_dense(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let work = m.saturating_mul(k).saturating_mul(n);
+    parallel::for_each_row_chunk(out, n, m, work, |first_row, c| {
+        for jb in (0..n).step_by(BLOCK_N) {
+            let jend = (jb + BLOCK_N).min(n);
+            for pb in (0..k).step_by(BLOCK_K) {
+                let pend = (pb + BLOCK_K).min(k);
+                for (local_i, crow) in c.chunks_mut(n).enumerate() {
+                    let i = first_row + local_i;
+                    let ctile = &mut crow[jb..jend];
+                    for p in pb..pend {
+                        let av = a[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n + jb..p * n + jend];
+                        for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Dense blocked `out[m,n] += aᵀ × b` with `a` stored `[k, m]`. `p` stays
+/// the loop over `a`'s rows; per output element the accumulation still
+/// ascends over `p` exactly like a serial pass.
+pub(crate) fn matmul_tn_dense(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let work = m.saturating_mul(k).saturating_mul(n);
+    parallel::for_each_row_chunk(out, n, m, work, |first_row, c| {
+        let rows = c.len() / n;
+        for jb in (0..n).step_by(BLOCK_N) {
+            let jend = (jb + BLOCK_N).min(n);
+            for pb in (0..k).step_by(BLOCK_K) {
+                let pend = (pb + BLOCK_K).min(k);
+                for p in pb..pend {
+                    let arow = &a[p * m + first_row..p * m + first_row + rows];
+                    let brow = &b[p * n + jb..p * n + jend];
+                    for (local_i, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let ctile = &mut c[local_i * n + jb..local_i * n + jend];
+                        for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Dense `out[m,n] = a[m,k] × bᵀ` with `b` stored `[n, k]`. Straight-line
+/// dot products — no per-element zero branch; sparsity is the dispatch
+/// layer's job, and on dense operands the branch only cost a mispredict per
+/// element.
+pub(crate) fn matmul_nt_dense(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let work = m.saturating_mul(k).saturating_mul(n);
+    parallel::for_each_row_chunk(out, n, m, work, |first_row, c| {
+        for (local_i, crow) in c.chunks_mut(n).enumerate() {
+            let i = first_row + local_i;
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *cv = acc;
+            }
+        }
+    });
+}
+
+/// `c[rows, n] += bias[n]` broadcast over rows, row-partitioned.
+pub(crate) fn add_bias_rows(c: &mut [f32], n: usize, rows: usize, b: &[f32]) {
+    let work = rows.saturating_mul(n);
+    parallel::for_each_row_chunk(c, n, rows, work, |_, chunk| {
+        for crow in chunk.chunks_mut(n) {
+            for (cv, &bv) in crow.iter_mut().zip(b) {
+                *cv += bv;
+            }
+        }
+    });
+}
 
 impl Tensor {
-    /// Matrix product `self[m,k] × rhs[k,n] → [m,n]`.
+    /// Matrix product `self[m,k] × rhs[k,n] → [m,n]`, with an event-driven
+    /// sparse fast path when `self`'s density is at or below
+    /// [`crate::sparse::density_threshold`] (bitwise identical to dense).
     ///
     /// # Errors
     ///
@@ -37,29 +145,19 @@ impl Tensor {
         if m == 0 || n == 0 {
             return Ok(out);
         }
-        let a = self.data();
-        let b = rhs.data();
-        let work = m.saturating_mul(k).saturating_mul(n);
-        parallel::for_each_row_chunk(out.data_mut(), n, m, work, |first_row, c| {
-            for (local_i, crow) in c.chunks_mut(n).enumerate() {
-                let i = first_row + local_i;
-                for p in 0..k {
-                    let av = a[i * k + p];
-                    if av == 0.0 {
-                        // Spike matrices are mostly zeros; skipping is a large win.
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        });
+        if self.density() <= sparse::density_threshold() {
+            let mut sm = SpikeMatrix::new();
+            sm.build_from_dense(self.data(), m, k)?;
+            sm.matmul_into(rhs.data(), n, out.data_mut());
+        } else {
+            matmul_dense(self.data(), m, k, rhs.data(), n, out.data_mut());
+        }
         Ok(out)
     }
 
-    /// `selfᵀ[k,m] × rhs[k,n] → [m,n]` without materializing the transpose.
+    /// `selfᵀ[k,m] × rhs[k,n] → [m,n]` without materializing the transpose,
+    /// with the same density-dispatched sparse fast path as
+    /// [`Tensor::matmul`].
     ///
     /// # Errors
     ///
@@ -74,32 +172,19 @@ impl Tensor {
         if m == 0 || n == 0 {
             return Ok(out);
         }
-        let a = self.data();
-        let b = rhs.data();
-        let work = m.saturating_mul(k).saturating_mul(n);
-        parallel::for_each_row_chunk(out.data_mut(), n, m, work, |first_row, c| {
-            let rows = c.len() / n;
-            // Keep p as the outer loop (row access of b); each output element
-            // still accumulates over p in ascending order, exactly as a
-            // single-threaded pass over all rows would.
-            for p in 0..k {
-                let arow = &a[p * m + first_row..p * m + first_row + rows];
-                let brow = &b[p * n..(p + 1) * n];
-                for (local_i, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let crow = &mut c[local_i * n..(local_i + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        });
+        if self.density() <= sparse::density_threshold() {
+            let mut sm = SpikeMatrix::new();
+            sm.build_transposed_from_dense(self.data(), k, m)?;
+            sm.matmul_into(rhs.data(), n, out.data_mut());
+        } else {
+            matmul_tn_dense(self.data(), k, m, rhs.data(), n, out.data_mut());
+        }
         Ok(out)
     }
 
-    /// `self[m,k] × rhsᵀ[n,k] → [m,n]` without materializing the transpose.
+    /// `self[m,k] × rhsᵀ[n,k] → [m,n]` without materializing the transpose,
+    /// with the same density-dispatched sparse fast path as
+    /// [`Tensor::matmul`].
     ///
     /// # Errors
     ///
@@ -114,28 +199,13 @@ impl Tensor {
         if m == 0 || n == 0 {
             return Ok(out);
         }
-        let a = self.data();
-        let b = rhs.data();
-        let work = m.saturating_mul(k).saturating_mul(n);
-        parallel::for_each_row_chunk(out.data_mut(), n, m, work, |first_row, c| {
-            for (local_i, crow) in c.chunks_mut(n).enumerate() {
-                let i = first_row + local_i;
-                let arow = &a[i * k..(i + 1) * k];
-                for (j, cv) in crow.iter_mut().enumerate() {
-                    let brow = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
-                    for (&av, &bv) in arow.iter().zip(brow) {
-                        if av == 0.0 {
-                            // Spike operands are ~80% zeros; skip like the
-                            // other two kernels do.
-                            continue;
-                        }
-                        acc += av * bv;
-                    }
-                    *cv = acc;
-                }
-            }
-        });
+        if self.density() <= sparse::density_threshold() {
+            let mut sm = SpikeMatrix::new();
+            sm.build_from_dense(self.data(), m, k)?;
+            sm.matmul_nt_into(rhs.data(), n, out.data_mut());
+        } else {
+            matmul_nt_dense(self.data(), m, k, rhs.data(), n, out.data_mut());
+        }
         Ok(out)
     }
 
@@ -153,13 +223,7 @@ impl Tensor {
             });
         }
         let mut out = self.clone();
-        let b = bias.data();
-        let c = out.data_mut();
-        for i in 0..m {
-            for j in 0..n {
-                c[i * n + j] += b[j];
-            }
-        }
+        add_bias_rows(out.data_mut(), n, m, bias.data());
         Ok(out)
     }
 
@@ -180,6 +244,44 @@ impl Tensor {
         }
         Ok(out)
     }
+}
+
+/// Eval-mode fully-connected forward:
+/// `input[m,k] × weightᵀ[n,k] + bias[n] → [m,n]`, with the output (and the
+/// sparse build scratch) drawn from `ws` instead of fresh heap allocations.
+/// Bitwise identical to `input.matmul_nt(weight)?.add_row_bias(bias)?`.
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::matmul_nt`] plus
+/// [`TensorError::ShapeMismatch`] when `bias` is not `[n]`.
+pub fn linear_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let (m, k) = mat_dims(input)?;
+    let (n, k2) = mat_dims(weight)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDims { lhs_cols: k, rhs_rows: k2 });
+    }
+    if bias.dims() != [n] {
+        return Err(TensorError::ShapeMismatch { expected: vec![n], actual: bias.dims().to_vec() });
+    }
+    let mut out = ws.take(m * n);
+    if m > 0 && n > 0 {
+        if input.density() <= sparse::density_threshold() {
+            let mut sm = ws.take_spike();
+            sm.build_from_dense(input.data(), m, k)?;
+            sm.matmul_nt_into(weight.data(), n, &mut out);
+            ws.recycle_spike(sm);
+        } else {
+            matmul_nt_dense(input.data(), m, k, weight.data(), n, &mut out);
+        }
+        add_bias_rows(&mut out, n, m, bias.data());
+    }
+    Tensor::from_vec(out, &[m, n])
 }
 
 fn mat_dims(t: &Tensor) -> Result<(usize, usize)> {
@@ -244,9 +346,9 @@ mod tests {
     }
 
     #[test]
-    fn matmul_nt_skips_zeros_without_changing_results() {
-        // Sparse spike-like lhs: the zero-skip path must agree with the
-        // explicit-transpose product on every element.
+    fn matmul_nt_handles_sparse_spike_operands() {
+        // Sparse spike-like lhs (takes the SpikeMatrix path under the
+        // default threshold): must agree with the explicit-transpose product.
         let mut rng = TensorRng::seed_from(13);
         let mut a = Tensor::zeros(&[6, 9]);
         for v in a.data_mut().iter_mut() {
@@ -260,6 +362,45 @@ mod tests {
         for (x, y) in fast.data().iter().zip(slow.data()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn blocked_dense_kernels_match_naive_serial_loops_bitwise() {
+        // Dimensions straddle both block boundaries (k > BLOCK_K,
+        // n > BLOCK_N); ~half the lhs entries are zero to exercise the
+        // skip. The naive (i,p,j) loop accumulates each element over p in
+        // ascending order — blocking must reproduce it bit for bit.
+        let mut rng = TensorRng::seed_from(55);
+        let (m, k, n) = (13, 2 * BLOCK_K + 7, BLOCK_N + 44);
+        let mut a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        for v in a.data_mut().iter_mut() {
+            if rng.bernoulli(0.5) {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.data()[i * k + p];
+                for j in 0..n {
+                    naive[i * n + j] += av * b.data()[p * n + j];
+                }
+            }
+        }
+        parallel::with_threads(1, || {
+            sparse::with_density_threshold(-1.0, || {
+                let blocked = a.matmul(&b).unwrap();
+                let nb: Vec<u32> = naive.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = blocked.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(nb, bb);
+                // matmul_tn on the explicit transpose must agree bitwise too
+                let at = a.transpose2d().unwrap();
+                let tn = at.matmul_tn(&b).unwrap();
+                let tb: Vec<u32> = tn.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(nb, tb);
+            });
+        });
     }
 
     #[test]
@@ -283,6 +424,41 @@ mod tests {
                 assert_eq!(sb, pb, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn sparse_dense_linear_ws_matches_method_chain() {
+        let mut rng = TensorRng::seed_from(61);
+        let w = Tensor::randn(&[17, 40], 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn(&[17], 0.0, 0.1, &mut rng);
+        for density in [0.05f32, 0.9] {
+            let mut x = Tensor::zeros(&[3, 40]);
+            for v in x.data_mut().iter_mut() {
+                if rng.bernoulli(density) {
+                    *v = 1.0;
+                }
+            }
+            let want = x.matmul_nt(&w).unwrap().add_row_bias(&bias).unwrap();
+            let mut ws = Workspace::new();
+            for pass in 0..3 {
+                let got = linear_ws(&x, &w, &bias, &mut ws).unwrap();
+                let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(wb, gb, "density={density} pass={pass}");
+                ws.recycle_tensor(got);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_ws_validates_shapes() {
+        let mut ws = Workspace::new();
+        let x = Tensor::zeros(&[2, 4]);
+        let w = Tensor::zeros(&[3, 5]);
+        assert!(linear_ws(&x, &w, &Tensor::zeros(&[3]), &mut ws).is_err());
+        let w = Tensor::zeros(&[3, 4]);
+        assert!(linear_ws(&x, &w, &Tensor::zeros(&[2]), &mut ws).is_err());
+        assert!(linear_ws(&x, &w, &Tensor::zeros(&[3]), &mut ws).is_ok());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Average pooling (the pooling used by the paper's spiking VGG/ResNet).
 
-use crate::{Result, Tensor, TensorError};
+use crate::{Result, Tensor, TensorError, Workspace};
 
 /// Geometry of a 2-D average pool (square window, no padding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,11 +52,40 @@ pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
     }
     let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
     let (oh, ow) = spec.output_hw(h, w)?;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    avg_pool2d_core(input.data(), [n, c, h, w], spec, oh, ow, out.data_mut());
+    Ok(out)
+}
+
+/// Eval-mode average pool with the output drawn from `ws` — bitwise
+/// identical to [`avg_pool2d`].
+///
+/// # Errors
+///
+/// Returns rank/geometry errors for malformed inputs.
+pub fn avg_pool2d_ws(input: &Tensor, spec: &PoolSpec, ws: &mut Workspace) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: d.len() });
+    }
+    let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let mut out = ws.take(n * c * oh * ow);
+    avg_pool2d_core(input.data(), [n, c, h, w], spec, oh, ow, &mut out);
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Core of [`avg_pool2d`]: writes every output element exactly once.
+fn avg_pool2d_core(
+    src: &[f32],
+    [n, c, h, w]: [usize; 4],
+    spec: &PoolSpec,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
     let k = spec.kernel;
     let inv = 1.0 / (k * k) as f32;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let src = input.data();
-    let dst = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
@@ -75,7 +104,6 @@ pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
 }
 
 /// Backward pass of [`avg_pool2d`]: spreads each upstream gradient uniformly
@@ -194,6 +222,24 @@ mod tests {
             let num = (yp.sum() - y.sum()) / eps;
             assert!((num - gx.data()[idx]).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn avg_pool2d_ws_matches_avg_pool2d_bitwise() {
+        let mut rng = TensorRng::seed_from(6);
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let want = avg_pool2d(&x, &spec).unwrap();
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let got = avg_pool2d_ws(&x, &spec, &mut ws).unwrap();
+            assert_eq!(got.dims(), want.dims());
+            let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wb, gb);
+            ws.recycle_tensor(got);
+        }
+        assert!(avg_pool2d_ws(&Tensor::zeros(&[4]), &spec, &mut ws).is_err());
     }
 
     #[test]

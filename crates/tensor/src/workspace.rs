@@ -1,0 +1,229 @@
+//! Reusable scratch arena for the zero-allocation timestep loop.
+//!
+//! An SNN forward pass allocates the same handful of buffer shapes — im2col
+//! columns, layer outputs, membrane temporaries — once per layer per
+//! timestep, `T` times per sample. [`Workspace`] parks those buffers on a
+//! freelist instead: [`Workspace::take`] hands back a zero-filled buffer
+//! (reusing a parked one when capacity allows) and [`Workspace::recycle`]
+//! returns it. After one warm-up timestep every size class is populated and
+//! the steady-state loop performs **no heap allocations** —
+//! [`Workspace::stats`] counts hits and misses so benches and tests can
+//! assert exactly that.
+//!
+//! # Lifetime rules
+//!
+//! - A workspace belongs to **one** network/evaluation loop at a time; the
+//!   clone-pool evaluation harnesses give every worker its own (a cloned
+//!   `Snn` starts with a fresh, empty workspace), so no locking is needed
+//!   or performed.
+//! - Buffers obtained from [`Workspace::take`] are always fully
+//!   zero-filled; kernels may rely on that the same way they rely on
+//!   [`crate::Tensor::zeros`].
+//! - Recycling is optional — a buffer that escapes (e.g. a returned layer
+//!   output that the caller keeps) is simply a future miss. The freelist is
+//!   capped so unrecycled traffic cannot grow it without bound.
+//! - Contents of recycled buffers are dead immediately; the arena clears
+//!   them on the next `take`.
+
+use crate::{SpikeMatrix, Tensor};
+
+/// Freelist cap: more parked buffers than this and the oldest is dropped.
+/// A full VGG/ResNet eval pass keeps well under this many live scratch
+/// shapes, so the cap only guards against unbounded growth when callers
+/// recycle more than they take.
+const MAX_FREE: usize = 64;
+
+/// Allocation counters for the zero-allocation claim.
+///
+/// `takes` counts every [`Workspace::take`]; `misses` counts the subset
+/// that had to allocate (no parked buffer with sufficient capacity). A
+/// warmed-up steady state shows `misses == 0` while `takes` keeps rising.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Total buffer requests served.
+    pub takes: u64,
+    /// Requests that fell back to a fresh heap allocation.
+    pub misses: u64,
+}
+
+/// Scratch-buffer arena threaded through the Eval-mode forward pass.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f32>>,
+    spike: SpikeMatrix,
+    takes: u64,
+    misses: u64,
+}
+
+impl Workspace {
+    /// An empty arena; buffers are adopted lazily as the first pass runs.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Hands out a zero-filled buffer of exactly `len` elements, reusing
+    /// the best-fitting parked buffer (smallest sufficient capacity) when
+    /// one exists.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
+        let mut best: Option<(usize, usize)> = None; // (slot, capacity)
+        for (slot, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((slot, cap));
+            }
+        }
+        match best {
+            Some((slot, _)) => {
+                let mut buf = self.free.swap_remove(slot);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Hands out a zero-filled tensor of the given shape, backed by an
+    /// arena buffer.
+    pub fn take_tensor(&mut self, dims: &[usize]) -> Tensor {
+        let len = dims.iter().product();
+        Tensor::from_vec(self.take(len), dims).expect("take(len) matches the shape")
+    }
+
+    /// Parks a buffer for reuse. Beyond the freelist cap the smallest
+    /// parked buffer is dropped, keeping the most useful capacities.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free.push(buf);
+        if self.free.len() > MAX_FREE {
+            let smallest = self
+                .free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+                .expect("freelist nonempty");
+            self.free.swap_remove(smallest);
+        }
+    }
+
+    /// Parks a tensor's backing buffer for reuse.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        self.recycle(t.into_vec());
+    }
+
+    /// Borrows the arena's [`SpikeMatrix`] scratch (moved out so the caller
+    /// can hold it while taking further buffers); return it with
+    /// [`Workspace::recycle_spike`]. Its index/value capacity is retained
+    /// across builds.
+    pub fn take_spike(&mut self) -> SpikeMatrix {
+        std::mem::take(&mut self.spike)
+    }
+
+    /// Returns the spike scratch taken with [`Workspace::take_spike`].
+    pub fn recycle_spike(&mut self, sm: SpikeMatrix) {
+        self.spike = sm;
+    }
+
+    /// Current allocation counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats { takes: self.takes, misses: self.misses }
+    }
+
+    /// Zeroes the allocation counters (parked buffers stay parked) — call
+    /// after warm-up, before the span whose allocations you want to count.
+    pub fn reset_stats(&mut self) {
+        self.takes = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_even_after_recycling_garbage() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(8);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        ws.recycle(buf);
+        let again = ws.take(8);
+        assert_eq!(again, vec![0.0; 8]);
+        ws.recycle(again);
+        // shrinking reuse also re-zeroes
+        let small = ws.take(3);
+        assert_eq!(small, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn steady_state_has_no_misses() {
+        let mut ws = Workspace::new();
+        // warm-up: one take/recycle per size class
+        for len in [16, 64, 256] {
+            let b = ws.take(len);
+            ws.recycle(b);
+        }
+        ws.reset_stats();
+        for _ in 0..10 {
+            let a = ws.take(16);
+            let b = ws.take(64);
+            let c = ws.take(256);
+            ws.recycle(a);
+            ws.recycle(b);
+            ws.recycle(c);
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.takes, 30);
+        assert_eq!(stats.misses, 0, "warmed workspace must not allocate");
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        ws.recycle(Vec::with_capacity(100));
+        ws.recycle(Vec::with_capacity(10));
+        let b = ws.take(8);
+        assert!(b.capacity() < 100, "should reuse the 10-cap buffer");
+        ws.reset_stats();
+        let big = ws.take(90); // only the 100-cap buffer fits
+        assert_eq!(ws.stats().misses, 0);
+        assert!(big.capacity() >= 90);
+    }
+
+    #[test]
+    fn freelist_is_capped() {
+        let mut ws = Workspace::new();
+        for i in 0..(MAX_FREE + 10) {
+            ws.recycle(Vec::with_capacity(i + 1));
+        }
+        assert!(ws.free.len() <= MAX_FREE);
+    }
+
+    #[test]
+    fn spike_scratch_roundtrips() {
+        let mut ws = Workspace::new();
+        let mut sm = ws.take_spike();
+        sm.build_from_dense(&[1.0, 0.0, 0.0, 1.0], 2, 2).unwrap();
+        ws.recycle_spike(sm);
+        let sm = ws.take_spike();
+        assert_eq!(sm.nnz(), 2);
+        ws.recycle_spike(sm);
+    }
+
+    #[test]
+    fn take_tensor_has_requested_shape() {
+        let mut ws = Workspace::new();
+        let t = ws.take_tensor(&[2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.data(), &[0.0; 6]);
+        ws.recycle_tensor(t);
+        assert_eq!(ws.stats().takes, 1);
+    }
+}

@@ -48,6 +48,21 @@ done
 echo "== conformance: whole-network gradient checks =="
 cargo test -q -p dtsnn-conformance --test gradient_check
 
+# Kernel stage: the event-driven sparse path must reproduce the blocked
+# dense kernels bitwise (matmul/matmul_tn/matmul_nt + sparse im2col conv2d
+# and the workspace entry points) at both ambient worker counts, and the
+# workspace-threaded Snn forward must match the plain layer chain while
+# allocating nothing after warm-up. A final golden replay proves the sparse
+# dispatch and workspace reuse changed no committed numerics — no re-bless.
+for threads in 1 4; do
+    echo "== kernel stage: sparse/dense equivalence (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor sparse
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-snn workspace
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-snn warmed_timestep_loop
+done
+echo "== kernel stage: golden replay unchanged by sparse dispatch =="
+cargo test -q -p dtsnn-conformance --test golden_replay
+
 # Robustness stage: the Monte-Carlo fault harness on a tiny net (the
 # 2-trial smoke plus the aggregate thread-invariance check) at both ambient
 # worker counts — trial fan-out must produce bitwise-identical mean/std/CI
