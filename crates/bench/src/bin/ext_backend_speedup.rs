@@ -1,0 +1,227 @@
+//! Extension — the pluggable kernel-backend seam: dense vs CSR vs bitset vs
+//! quantized, on the classifier matmul and on the full dynamic-timestep loop.
+//!
+//! Part 1 sweeps spike density on a classifier-shaped `matmul_nt` and times
+//! each backend forced end-to-end through the dispatch seam. Dense, CSR and
+//! bitset are asserted bitwise identical per density *before* any timing;
+//! the quantized kernel runs on its own int8 grid and is only checked
+//! finite. The sweep also reports the measured dense/bitset crossover — the
+//! empirical justification for the `DTSNN_SPARSE_THRESHOLD` default the
+//! auto-dispatch uses.
+//!
+//! Part 2 runs the full VGG backbone through the dynamic-timestep runner
+//! once per forced backend (and once with quantized weights opted in),
+//! checking that dense/CSR/bitset produce bitwise-identical accumulated
+//! logits on a fixed probe frame and that the warmed loop stays
+//! allocation-free under every backend.
+//!
+//! Results go to `bench-results/backend_speedup.json` with `host_cores`
+//! recorded, since kernel timings only compare within one host.
+
+use dtsnn_bench::{json, print_table, time_it, write_json};
+use dtsnn_core::{DynamicInference, ExitPolicy};
+use dtsnn_snn::{vgg_small, LifConfig, ModelConfig, Snn};
+use dtsnn_tensor::{backend, sparse, BackendKind, QuantizedWeights, Tensor, TensorRng};
+
+/// A [0,1) tensor thresholded into a binary spike pattern of the given
+/// density (the operand shape the event-driven paths are built for).
+fn spikes(dims: &[usize], density: f32, rng: &mut TensorRng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = if rng.bernoulli(density) { 1.0 } else { 0.0 };
+    }
+    t
+}
+
+fn assert_bitwise(a: &Tensor, b: &Tensor, what: &str) {
+    let ab: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+    let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(ab, bb, "{what}: backends must agree bitwise");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.3} ms", secs * 1e3)
+    }
+}
+
+fn model_config() -> ModelConfig {
+    ModelConfig {
+        in_channels: 2,
+        image_size: 16,
+        num_classes: 5,
+        lif: LifConfig { v_th: 1.0, tau: 0.75, ..LifConfig::default() },
+        width: 8,
+        // untrained Eval nets need the calibrated tdBN gain to spike at all
+        tdbn_alpha: 6.0,
+        dropout: 0.0,
+    }
+}
+
+fn fresh_net() -> dtsnn_snn::Result<Snn> {
+    vgg_small(&model_config(), &mut TensorRng::seed_from(11))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = TensorRng::seed_from(0xBAC5EED);
+
+    // ---- part 1: classifier-shaped matmul_nt, density × backend ------------
+    // [batch, features] × [classes, features]ᵀ, sized like the flattened
+    // classifier input of the scaled VGG backbone.
+    let (m, k, n) = (64usize, 512usize, 64usize);
+    let w_nt = Tensor::randn(&[n, k], 0.0, 0.2, &mut rng);
+    let qw = QuantizedWeights::from_tensor(&w_nt, backend::DEFAULT_QUANT_BITS)?;
+    let densities = [0.01f32, 0.05, 0.10, 0.25, 0.50, 1.0];
+    let forced = [BackendKind::Dense, BackendKind::Csr, BackendKind::Bitset];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut kernel_points = Vec::new();
+    let mut crossover = 0.0f32;
+    let mut low_density_bitset_vs_csr: Option<(f64, f64)> = None;
+    for &density in &densities {
+        let a = spikes(&[m, k], density, &mut rng);
+
+        // parity first, then timings (timings reuse the same inputs)
+        let oracle = backend::with_backend(BackendKind::Dense, || a.matmul_nt(&w_nt))?;
+        for kind in [BackendKind::Csr, BackendKind::Bitset] {
+            let out = backend::with_backend(kind, || a.matmul_nt(&w_nt))?;
+            assert_bitwise(&oracle, &out, kind.name());
+        }
+        let q_out = qw.matmul_nt(&a)?;
+        assert!(q_out.data().iter().all(|v| v.is_finite()), "quantized output must be finite");
+
+        // best-of-3: the per-kernel deltas at low density are a few percent,
+        // inside single-run scheduler noise
+        let best = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+        let mut secs = Vec::new();
+        for kind in forced {
+            secs.push(best(&mut || {
+                backend::with_backend(kind, || time_it(|| a.matmul_nt(&w_nt).unwrap()))
+            }));
+        }
+        let quant_secs = best(&mut || time_it(|| qw.matmul_nt(&a).unwrap()));
+        let dense_secs = secs[0];
+        if secs[2] <= dense_secs {
+            crossover = crossover.max(density);
+        }
+        if density <= 0.05 {
+            low_density_bitset_vs_csr = Some((secs[1], secs[2]));
+        }
+        let mut point = json::Map::new();
+        point.insert("density".into(), json!(density));
+        for (kind, s) in forced.iter().zip(&secs) {
+            point.insert(format!("{}_secs", kind.name()), json!(*s));
+        }
+        point.insert("quantized_secs".into(), json!(quant_secs));
+        point.insert("bitset_speedup_vs_dense".into(), json!(dense_secs / secs[2]));
+        point.insert("bitset_speedup_vs_csr".into(), json!(secs[1] / secs[2]));
+        kernel_points.push(json::Value::Object(point));
+        rows.push(vec![
+            format!("{:.0}%", density * 100.0),
+            fmt_time(dense_secs),
+            fmt_time(secs[1]),
+            fmt_time(secs[2]),
+            fmt_time(quant_secs),
+            format!("{:.2}×", dense_secs / secs[2]),
+        ]);
+    }
+    print_table(
+        &format!("matmul_nt [{m},{k}]×[{n},{k}]ᵀ by backend (dense ≡ csr ≡ bitset bitwise)"),
+        &["density", "dense", "csr", "bitset", "quantized", "bitset speedup"],
+        &rows,
+    );
+    let (csr_lo, bitset_lo) =
+        low_density_bitset_vs_csr.expect("sweep includes a low-density point");
+    assert!(
+        bitset_lo <= csr_lo,
+        "bitset must be at least as fast as CSR at low density: bitset {bitset_lo}s vs csr {csr_lo}s"
+    );
+    println!(
+        "\nmeasured dense/bitset crossover: bitset still wins at {:.0}% density \
+         (dispatch default DTSNN_SPARSE_THRESHOLD = {})",
+        crossover * 100.0,
+        sparse::DEFAULT_DENSITY_THRESHOLD,
+    );
+
+    // ---- part 2: full-net dynamic-timestep loop per backend ----------------
+    let t_max = 4;
+    let runner = DynamicInference::new(ExitPolicy::entropy(1e-30)?, t_max)?; // never exits
+    let probe = Tensor::randn(&[2, 16, 16], 0.5, 0.5, &mut TensorRng::seed_from(23));
+
+    let mut net_rows: Vec<Vec<String>> = Vec::new();
+    let mut net_points = Vec::new();
+    let mut oracle_logits: Option<Vec<u32>> = None;
+    for kind in [BackendKind::Dense, BackendKind::Csr, BackendKind::Bitset, BackendKind::Quantized]
+    {
+        let mut net = fresh_net()?;
+        let quantized_opt_in = kind == BackendKind::Quantized;
+        if quantized_opt_in {
+            // opt the layers into the int8 weight path instead of forcing the
+            // raw-kernel override (which the quantized family does not serve)
+            net.quantize_weights(backend::DEFAULT_QUANT_BITS);
+        }
+        let run = |net: &mut Snn| {
+            if quantized_opt_in {
+                runner.run(net, std::slice::from_ref(&probe))
+            } else {
+                backend::with_backend(kind, || runner.run(net, std::slice::from_ref(&probe)))
+            }
+        };
+        let outcome = run(&mut net)?;
+        let bits: Vec<u32> = outcome.scores.iter().map(|v| v.to_bits()).collect();
+        if quantized_opt_in {
+            assert!(
+                outcome.scores.iter().all(|v| v.is_finite()),
+                "quantized full-net scores must be finite"
+            );
+        } else if let Some(oracle) = &oracle_logits {
+            assert_eq!(oracle, &bits, "{}: full-net scores must match dense bitwise", kind.name());
+        } else {
+            oracle_logits = Some(bits);
+        }
+        net.reset_workspace_stats();
+        let secs = time_it(|| run(&mut net).unwrap());
+        let stats = net.workspace_stats();
+        assert!(stats.takes > 0, "the Eval loop must draw from the workspace");
+        assert_eq!(stats.misses, 0, "{}: warmed loop must not allocate: {stats:?}", kind.name());
+        net_rows.push(vec![
+            kind.name().into(),
+            fmt_time(secs),
+            stats.takes.to_string(),
+            stats.misses.to_string(),
+        ]);
+        net_points.push(json!({
+            "backend": kind.name(),
+            "secs_per_sample": secs,
+            "workspace_takes": stats.takes,
+            "workspace_misses": stats.misses,
+        }));
+    }
+    print_table(
+        &format!("full-net timestep loop (VGG*, T={t_max}) by forced backend"),
+        &["backend", "per sample", "ws takes", "ws misses"],
+        &net_rows,
+    );
+
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let doc = json!({
+        "host_cores": host_cores,
+        "matmul_nt_shape": json!({"m": m, "k": k, "n": n}),
+        "quant_bits": backend::DEFAULT_QUANT_BITS,
+        "densities": densities.iter().map(|&d| json!(d)).collect::<Vec<_>>(),
+        "kernels": kernel_points,
+        "measured_crossover_density": crossover,
+        "dispatch_threshold": sparse::DEFAULT_DENSITY_THRESHOLD,
+        "full_net": json!({
+            "arch": "vgg_small",
+            "max_timesteps": t_max,
+            "backends": net_points,
+        }),
+        "bitwise_equal": true,
+    });
+    let path = write_json("backend_speedup", &doc)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

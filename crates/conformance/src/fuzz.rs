@@ -35,6 +35,12 @@
 //!    forced off (−1.0) return bitwise-identical outcomes and accumulated
 //!    logits (the gather kernels replay the dense accumulation order
 //!    exactly), under 1 worker and under 4.
+//! 9. **Backend equivalence** — whole forward passes forced down each
+//!    kernel family via the [`backend`] override: dense, CSR and bitset
+//!    return bitwise-identical outcomes, accumulated logits and spike
+//!    densities under 1 worker and under 4; the quantized backend (a real
+//!    numeric change, pinned by its own goldens) must be reproducible,
+//!    thread-count invariant and finite.
 
 use dtsnn_bench::Arch;
 use dtsnn_core::{
@@ -44,7 +50,7 @@ use dtsnn_imc::{
     quantize_dequantize, ChipMapping, DeviceNoise, FaultInjector, FaultModel, HardwareConfig,
 };
 use dtsnn_snn::{load_params, save_params, LifConfig, Mode, ModelConfig, Snn};
-use dtsnn_tensor::{parallel, sparse, Tensor, TensorRng};
+use dtsnn_tensor::{backend, parallel, sparse, BackendKind, Tensor, TensorRng};
 
 /// A randomly derived but fully deterministic fuzz configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -428,6 +434,72 @@ fn oracle_sparse_equals_dense(case: &FuzzCase) -> Result<(), String> {
     Ok(())
 }
 
+fn oracle_backend_equivalence(case: &FuzzCase) -> Result<(), String> {
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(case.theta).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    let frame = case.frame(0xBAC_EAD);
+    let run_forced = |threads: usize, kind: BackendKind| -> Result<_, String> {
+        parallel::with_threads(threads, || {
+            backend::with_backend(kind, || {
+                let mut net = case.build(8)?;
+                let traced = runner
+                    .run_traced(&mut net, std::slice::from_ref(&frame))
+                    .map_err(|e| e.to_string())?;
+                Ok((traced.outcome, traced.per_timestep))
+            })
+        })
+    };
+    for threads in [1usize, 4] {
+        // dense is the oracle; CSR and bitset must replay it bitwise
+        let dense = run_forced(threads, BackendKind::Dense)?;
+        for kind in [BackendKind::Csr, BackendKind::Bitset] {
+            let other = run_forced(threads, kind)?;
+            if dense.0 != other.0 {
+                return Err(format!(
+                    "{threads}-worker outcome differs: dense {:?} vs {kind:?} {:?}",
+                    dense.0, other.0
+                ));
+            }
+            for (t, (d, o)) in dense.1.iter().zip(&other.1).enumerate() {
+                let db: Vec<u32> = d.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+                let ob: Vec<u32> = o.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+                if db != ob {
+                    return Err(format!(
+                        "{threads}-worker {kind:?} accumulated logits differ bitwise at t={}",
+                        t + 1
+                    ));
+                }
+                if d.spike_densities != o.spike_densities {
+                    return Err(format!(
+                        "{threads}-worker {kind:?} spike densities differ at t={}",
+                        t + 1
+                    ));
+                }
+            }
+        }
+    }
+    // quantized is a real numeric change: demand reproducibility,
+    // thread-count invariance and finiteness instead of bitwise identity
+    let q1 = run_forced(1, BackendKind::Quantized)?;
+    let q2 = run_forced(1, BackendKind::Quantized)?;
+    if q1 != q2 {
+        return Err("quantized backend is not run-to-run reproducible".into());
+    }
+    let q4 = run_forced(4, BackendKind::Quantized)?;
+    if q1 != q4 {
+        return Err("quantized backend differs across thread counts".into());
+    }
+    for (t, step) in q1.1.iter().enumerate() {
+        if step.accumulated_logits.iter().any(|v| !v.is_finite()) {
+            return Err(format!("quantized logits not finite at t={}", t + 1));
+        }
+    }
+    Ok(())
+}
+
 /// Runs every oracle against `case`, returning the first violation.
 ///
 /// # Errors
@@ -443,6 +515,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
         .map_err(|e| format!("batched-compaction≡sequential: {e}"))?;
     oracle_fault_injection_invariants(case).map_err(|e| format!("fault-injection: {e}"))?;
     oracle_sparse_equals_dense(case).map_err(|e| format!("sparse≡dense: {e}"))?;
+    oracle_backend_equivalence(case).map_err(|e| format!("backend-equivalence: {e}"))?;
     Ok(())
 }
 

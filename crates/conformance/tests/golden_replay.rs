@@ -40,6 +40,16 @@ fn resnet_golden_replays_bitwise() {
 }
 
 #[test]
+fn vgg_quant_golden_replays_bitwise() {
+    replay(TraceSpec::vgg_quant());
+}
+
+#[test]
+fn resnet_quant_golden_replays_bitwise() {
+    replay(TraceSpec::resnet_quant());
+}
+
+#[test]
 fn golden_context_records_provenance() {
     for spec in TraceSpec::all_defaults() {
         let golden = load_golden(&spec).expect("load committed golden");
@@ -47,6 +57,14 @@ fn golden_context_records_provenance() {
         for key in ["schema_version", "arch", "seed", "theta", "timesteps", "host_cores", "threads"]
         {
             assert!(context.get(key).is_some(), "{}: context missing {key}", spec.golden_name());
+        }
+        // The quantized goldens postdate the backend seam and additionally
+        // record the per-layer kernel choices; the pre-existing f32 goldens
+        // are committed byte-identical and are not required to carry them.
+        if spec.quantized {
+            for key in ["quantized", "backends"] {
+                assert!(context.get(key).is_some(), "{}: context missing {key}", spec.golden_name());
+            }
         }
     }
 }

@@ -40,6 +40,10 @@ pub struct DynamicTrace {
     pub outcome: DynamicOutcome,
     /// One record per executed timestep (`len == outcome.timesteps_used`).
     pub per_timestep: Vec<TimestepTrace>,
+    /// `(layer, backend)` kernel-dispatch choices of the final executed
+    /// timestep, in network order — recorded into the golden-trace
+    /// *context* block (provenance, never numerically compared).
+    pub layer_backends: Vec<(String, String)>,
 }
 
 /// Dynamic-timestep inference engine bound to an exit policy and a maximum
@@ -160,7 +164,12 @@ impl DynamicInference {
                 if let Some(acc) = accumulated.take() {
                     network.recycle(acc);
                 }
-                return Ok(DynamicTrace { outcome, per_timestep });
+                let layer_backends = network
+                    .layer_backends()
+                    .into_iter()
+                    .map(|(name, b)| (name, b.to_string()))
+                    .collect();
+                return Ok(DynamicTrace { outcome, per_timestep, layer_backends });
             }
         }
         unreachable!("loop always returns at t == max_timesteps")

@@ -78,14 +78,12 @@ impl DeviceNoise {
 
 /// Quantize-then-dequantize a weight without device noise (the ideal 8-bit
 /// deployment). Useful for separating quantization loss from variation loss.
+///
+/// Delegates to [`dtsnn_tensor::quant::quantize_dequantize`] — the same
+/// grid the quantized kernel backend snaps weights onto — so the hardware
+/// model and the inference backend can never disagree about the grid.
 pub fn quantize_dequantize(w: f32, scale: f32, weight_bits: u32) -> f32 {
-    if scale <= 0.0 {
-        return 0.0;
-    }
-    let levels = 1i64 << (weight_bits - 1);
-    let delta = scale / levels as f32;
-    let q = ((w / delta).round() as i64).clamp(-levels, levels - 1);
-    q as f32 * delta
+    dtsnn_tensor::quant::quantize_dequantize(w, scale, weight_bits)
 }
 
 /// Applies the device model to every crossbar-mapped parameter of a trained
@@ -140,6 +138,24 @@ mod tests {
             let back = quantize_dequantize(w, scale, 8);
             assert!((back - w).abs() <= 0.5 * lsb + 1e-6, "w={w} err={}", (back - w).abs());
             w += 0.0137;
+        }
+    }
+
+    #[test]
+    fn quantized_backend_weights_land_on_the_hardware_grid_bitwise() {
+        // The kernel backend's QuantizedWeights and this module's
+        // quantize_dequantize must describe the same grid: elementwise
+        // bitwise equality, and the snapped weights are a fixed point of a
+        // re-snap at the same scale (the PR 4 "unfaulted weights stay
+        // on-grid" invariant, now extended to the quantized backend).
+        let mut rng = TensorRng::seed_from(31);
+        let w = dtsnn_tensor::Tensor::randn(&[6, 17], 0.0, 0.4, &mut rng);
+        let scale = w.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let bits = HardwareConfig::default().weight_bits;
+        let qw = dtsnn_tensor::QuantizedWeights::from_tensor(&w, bits).unwrap();
+        for (&orig, &snapped) in w.data().iter().zip(qw.dequantized().data()) {
+            assert_eq!(quantize_dequantize(orig, scale, bits).to_bits(), snapped.to_bits());
+            assert_eq!(quantize_dequantize(snapped, scale, bits).to_bits(), snapped.to_bits());
         }
     }
 

@@ -158,6 +158,33 @@ pub trait Layer: Send + Sync {
     /// implement `Clone` despite holding trait objects — e.g. to perturb
     /// several noisy replicas of one trained network).
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Name of the kernel backend the most recent Eval forward dispatched
+    /// to (`"dense"`, `"csr"`, `"bitset"`, `"quantized"`), if this layer
+    /// runs a dispatched matmul/conv kernel. Default covers layers with no
+    /// backend seam.
+    fn last_backend(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Appends `(qualified_name, backend)` pairs for every dispatched
+    /// kernel inside this layer to `out`. The default reports
+    /// [`Layer::last_backend`] under the given name; container layers
+    /// override it to recurse with qualified child names.
+    fn backend_choices(&self, name: &str, out: &mut Vec<(String, &'static str)>) {
+        if let Some(b) = self.last_backend() {
+            out.push((name.to_string(), b));
+        }
+    }
+
+    /// Opts this layer's weights into the quantized Eval backend on the
+    /// signed `bits` grid (the IMC `weight_bits` deployment grid). The
+    /// stored f32 weights are untouched — the on-grid codes are a cached
+    /// view, rebuilt lazily whenever the weights change. Layers without
+    /// weight kernels ignore the call; container layers must forward it.
+    fn quantize_weights(&mut self, bits: u32) {
+        let _ = bits;
+    }
 }
 
 impl Clone for Box<dyn Layer> {

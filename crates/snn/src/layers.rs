@@ -10,8 +10,9 @@ use crate::layer::{Layer, Mode, Param};
 use crate::lif::{LifConfig, LifNeuron};
 use crate::{Result, SnnError};
 use dtsnn_tensor::{
-    avg_pool2d, avg_pool2d_backward, avg_pool2d_ws, conv2d, conv2d_backward, conv2d_ws, im2col,
-    linear_ws, Conv2dSpec, PoolSpec, Tensor, TensorError, TensorRng, Workspace,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_ws, backend, conv2d, conv2d_backward,
+    conv2d_ws_quant, conv2d_ws_with, im2col, linear_ws_quant, linear_ws_with, BackendKind,
+    Conv2dSpec, PoolSpec, QuantizedWeights, Tensor, TensorError, TensorRng, Workspace,
 };
 
 // ===========================================================================
@@ -26,6 +27,13 @@ pub struct Conv2d {
     bias: Param,
     /// Cached inputs per timestep (training only).
     inputs: Vec<Tensor>,
+    /// On-grid weight codes for the quantized Eval backend (lazy cache,
+    /// invalidated whenever the weights are touched).
+    quant: Option<QuantizedWeights>,
+    /// `Some(bits)` once [`Layer::quantize_weights`] opted this layer in.
+    quant_bits: Option<u32>,
+    /// Backend the most recent Eval forward dispatched to.
+    last_backend: Option<BackendKind>,
 }
 
 impl Conv2d {
@@ -46,7 +54,15 @@ impl Conv2d {
         let fan_in = spec.patch_len();
         let weight = Param::new(Tensor::kaiming(&spec.weight_dims(), fan_in, rng), true);
         let bias = Param::new(Tensor::zeros(&[out_channels]), false);
-        Ok(Conv2d { spec, weight, bias, inputs: Vec::new() })
+        Ok(Conv2d {
+            spec,
+            weight,
+            bias,
+            inputs: Vec::new(),
+            quant: None,
+            quant_bits: None,
+            last_backend: None,
+        })
     }
 
     /// The convolution geometry.
@@ -61,24 +77,48 @@ impl Conv2d {
 
     /// Mutable access to the weight matrix (for device-noise injection).
     pub fn weight_mut(&mut self) -> &mut Tensor {
+        self.quant = None; // weights may change; on-grid codes are stale
         &mut self.weight.value
+    }
+
+    /// Eval forward shared by `forward` and `forward_ws`: one backend
+    /// choice per call, recorded for the trace context. Both entry points
+    /// route here, so the two stay bitwise identical by construction.
+    fn forward_eval(&mut self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        let (density, binary) = input.spike_stats();
+        let kind = backend::choose_layer(density, binary, self.quant_bits.is_some());
+        self.last_backend = Some(kind);
+        if kind == BackendKind::Quantized {
+            let bits = self.quant_bits.unwrap_or(backend::DEFAULT_QUANT_BITS);
+            if self.quant.as_ref().is_none_or(|q| q.bits() != bits) {
+                self.quant = Some(QuantizedWeights::from_tensor(&self.weight.value, bits)?);
+            }
+            let qw = self.quant.as_ref().expect("cache ensured above");
+            return Ok(conv2d_ws_quant(input, qw, Some(&self.bias.value), &self.spec, ws)?);
+        }
+        Ok(conv2d_ws_with(kind, input, &self.weight.value, Some(&self.bias.value), &self.spec, ws)?)
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let (out, _cols) = conv2d(input, &self.weight.value, Some(&self.bias.value), &self.spec)?;
         if mode == Mode::Train {
+            let (out, _cols) =
+                conv2d(input, &self.weight.value, Some(&self.bias.value), &self.spec)?;
             self.inputs.push(input.clone());
+            return Ok(out);
         }
-        Ok(out)
+        // Eval without an arena: run the shared path against a throwaway
+        // workspace (bitwise identical to `forward_ws`, just allocating).
+        let mut ws = Workspace::new();
+        self.forward_eval(input, &mut ws)
     }
 
     fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         if mode == Mode::Train {
             return self.forward(input, mode);
         }
-        Ok(conv2d_ws(input, &self.weight.value, Some(&self.bias.value), &self.spec, ws)?)
+        self.forward_eval(input, ws)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -98,12 +138,22 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.quant = None; // visitors may mutate weights (optimizer, noise)
         f(&mut self.weight);
         f(&mut self.bias);
     }
 
     fn kind(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn last_backend(&self) -> Option<&'static str> {
+        self.last_backend.map(BackendKind::name)
+    }
+
+    fn quantize_weights(&mut self, bits: u32) {
+        self.quant_bits = Some(bits);
+        self.quant = None; // rebuilt lazily at the new width
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -121,6 +171,13 @@ pub struct Linear {
     weight: Param,
     bias: Param,
     inputs: Vec<Tensor>,
+    /// On-grid weight codes for the quantized Eval backend (lazy cache,
+    /// invalidated whenever the weights are touched).
+    quant: Option<QuantizedWeights>,
+    /// `Some(bits)` once [`Layer::quantize_weights`] opted this layer in.
+    quant_bits: Option<u32>,
+    /// Backend the most recent Eval forward dispatched to.
+    last_backend: Option<BackendKind>,
 }
 
 impl Linear {
@@ -128,7 +185,14 @@ impl Linear {
     pub fn new(in_features: usize, out_features: usize, rng: &mut TensorRng) -> Self {
         let weight = Param::new(Tensor::kaiming(&[out_features, in_features], in_features, rng), true);
         let bias = Param::new(Tensor::zeros(&[out_features]), false);
-        Linear { weight, bias, inputs: Vec::new() }
+        Linear {
+            weight,
+            bias,
+            inputs: Vec::new(),
+            quant: None,
+            quant_bits: None,
+            last_backend: None,
+        }
     }
 
     /// Output feature count.
@@ -148,25 +212,45 @@ impl Linear {
 
     /// Mutable access to the weight matrix (for device-noise injection).
     pub fn weight_mut(&mut self) -> &mut Tensor {
+        self.quant = None; // weights may change; on-grid codes are stale
         &mut self.weight.value
+    }
+
+    /// Eval forward shared by `forward` and `forward_ws`: one backend
+    /// choice per call, recorded for the trace context.
+    fn forward_eval(&mut self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        let (density, binary) = input.spike_stats();
+        let kind = backend::choose_layer(density, binary, self.quant_bits.is_some());
+        self.last_backend = Some(kind);
+        if kind == BackendKind::Quantized {
+            let bits = self.quant_bits.unwrap_or(backend::DEFAULT_QUANT_BITS);
+            if self.quant.as_ref().is_none_or(|q| q.bits() != bits) {
+                self.quant = Some(QuantizedWeights::from_tensor(&self.weight.value, bits)?);
+            }
+            let qw = self.quant.as_ref().expect("cache ensured above");
+            return Ok(linear_ws_quant(input, qw, &self.bias.value, ws)?);
+        }
+        Ok(linear_ws_with(kind, input, &self.weight.value, &self.bias.value, ws)?)
     }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        // y = x Wᵀ + b ; x is [n, in]
-        let out = input.matmul_nt(&self.weight.value)?.add_row_bias(&self.bias.value)?;
         if mode == Mode::Train {
+            // y = x Wᵀ + b ; x is [n, in]
+            let out = input.matmul_nt(&self.weight.value)?.add_row_bias(&self.bias.value)?;
             self.inputs.push(input.clone());
+            return Ok(out);
         }
-        Ok(out)
+        let mut ws = Workspace::new();
+        self.forward_eval(input, &mut ws)
     }
 
     fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         if mode == Mode::Train {
             return self.forward(input, mode);
         }
-        Ok(linear_ws(input, &self.weight.value, &self.bias.value, ws)?)
+        self.forward_eval(input, ws)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -185,12 +269,22 @@ impl Layer for Linear {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.quant = None; // visitors may mutate weights (optimizer, noise)
         f(&mut self.weight);
         f(&mut self.bias);
     }
 
     fn kind(&self) -> &'static str {
         "linear"
+    }
+
+    fn last_backend(&self) -> Option<&'static str> {
+        self.last_backend.map(BackendKind::name)
+    }
+
+    fn quantize_weights(&mut self, bits: u32) {
+        self.quant_bits = Some(bits);
+        self.quant = None; // rebuilt lazily at the new width
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -856,6 +950,24 @@ impl Layer for ResidualBlock {
             l.select_batch_rows(rows)?;
         }
         self.join.select_batch_rows(rows)
+    }
+
+    fn backend_choices(&self, name: &str, out: &mut Vec<(String, &'static str)>) {
+        for (i, l) in self.main.iter().enumerate() {
+            l.backend_choices(&format!("{name}.main{i}"), out);
+        }
+        for (i, l) in self.shortcut.iter().enumerate() {
+            l.backend_choices(&format!("{name}.shortcut{i}"), out);
+        }
+    }
+
+    fn quantize_weights(&mut self, bits: u32) {
+        for l in &mut self.main {
+            l.quantize_weights(bits);
+        }
+        for l in &mut self.shortcut {
+            l.quantize_weights(bits);
+        }
     }
 }
 

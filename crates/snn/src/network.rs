@@ -156,6 +156,26 @@ impl Snn {
         }
     }
 
+    /// Opts every weight layer into the quantized Eval backend on the
+    /// signed `bits` grid (the IMC `weight_bits` deployment grid). The
+    /// stored f32 weights are untouched; see [`Layer::quantize_weights`].
+    pub fn quantize_weights(&mut self, bits: u32) {
+        for node in &mut self.layers {
+            node.layer.quantize_weights(bits);
+        }
+    }
+
+    /// `(layer_name, backend_name)` for every dispatched kernel in the most
+    /// recent Eval forward, in network order (see
+    /// [`Layer::backend_choices`]). Empty before the first Eval pass.
+    pub fn layer_backends(&self) -> Vec<(String, &'static str)> {
+        let mut out = Vec::new();
+        for node in &self.layers {
+            node.layer.backend_choices(&node.name, &mut out);
+        }
+        out
+    }
+
     /// Runs one timestep through the whole network, returning logits.
     ///
     /// In [`Mode::Eval`] every layer runs its workspace-backed kernel
@@ -352,7 +372,12 @@ mod tests {
     use super::*;
     use crate::layers::{Flatten, Linear};
     use crate::lif::{LifConfig, LifNeuron};
-    use dtsnn_tensor::TensorRng;
+    use dtsnn_tensor::{backend, BackendKind, TensorRng};
+    use std::sync::Mutex;
+
+    // Tests that force the process-wide kernel backend serialize here so
+    // they cannot observe each other's override.
+    static BACKEND_LOCK: Mutex<()> = Mutex::new(());
 
     fn tiny_net(rng: &mut TensorRng) -> Snn {
         Snn::from_layers(vec![
@@ -523,6 +548,72 @@ mod tests {
         let stats = net.workspace_stats();
         assert!(stats.takes > 0);
         assert_eq!(stats.misses, 0, "warmed Eval loop must not allocate: {stats:?}");
+    }
+
+    #[test]
+    fn forced_backends_agree_bitwise_and_are_recorded() {
+        let _guard = BACKEND_LOCK.lock().unwrap();
+        let mut rng = TensorRng::seed_from(13);
+        let proto = tiny_net(&mut rng);
+        let frames: Vec<Tensor> =
+            (0..3).map(|_| Tensor::randn(&[2, 2, 2, 2], 0.0, 1.5, &mut rng)).collect();
+        let run = |kind: BackendKind| {
+            backend::with_backend(kind, || {
+                let mut net = proto.clone();
+                net.reset_state();
+                let mut out_bits = Vec::new();
+                for f in &frames {
+                    let out = net.forward_timestep(f, Mode::Eval).unwrap();
+                    out_bits.extend(out.data().iter().map(|v| v.to_bits()));
+                    net.recycle(out);
+                }
+                (out_bits, net.layer_backends())
+            })
+        };
+        let (want, dense_choices) = run(BackendKind::Dense);
+        assert!(dense_choices.iter().all(|(_, b)| *b == "dense"), "{dense_choices:?}");
+        for kind in [BackendKind::Csr, BackendKind::Bitset] {
+            let (got, choices) = run(kind);
+            assert_eq!(want, got, "{kind:?} must be bitwise identical to dense");
+            assert!(!choices.is_empty());
+            // forced bitset on a non-binary operand legally records csr
+            for (name, b) in &choices {
+                assert!(*b == "csr" || *b == "bitset", "{name}: {b}");
+            }
+        }
+        // quantized: reproducible and recorded, but not bitwise-dense
+        let (q1, q_choices) = run(BackendKind::Quantized);
+        let (q2, _) = run(BackendKind::Quantized);
+        assert_eq!(q1, q2, "quantized must be reproducible");
+        assert!(q_choices.iter().all(|(_, b)| *b == "quantized"), "{q_choices:?}");
+        assert!(q1.iter().all(|b| f32::from_bits(*b).is_finite()));
+    }
+
+    #[test]
+    fn warmed_timestep_loop_allocates_nothing_with_forced_bitset() {
+        // Satellite of the backend seam: the bitset scratch lives in the
+        // workspace arena, so forcing the bit-packed kernels end-to-end must
+        // keep the warmed Eval loop allocation-free too.
+        let _guard = BACKEND_LOCK.lock().unwrap();
+        backend::with_backend(BackendKind::Bitset, || {
+            let mut rng = TensorRng::seed_from(12);
+            let mut net = tiny_net(&mut rng);
+            let x = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.5, &mut rng);
+            net.reset_state();
+            for _ in 0..2 {
+                let out = net.forward_timestep(&x, Mode::Eval).unwrap();
+                net.recycle(out);
+            }
+            net.reset_state();
+            net.reset_workspace_stats();
+            for _ in 0..4 {
+                let out = net.forward_timestep(&x, Mode::Eval).unwrap();
+                net.recycle(out);
+            }
+            let stats = net.workspace_stats();
+            assert!(stats.takes > 0);
+            assert_eq!(stats.misses, 0, "warmed bitset loop must not allocate: {stats:?}");
+        });
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! sample stays on one worker, in serial order), so results are bitwise
 //! identical for any thread count.
 
+use crate::backend::{self, BackendKind};
 use crate::linalg::{add_bias_rows, matmul_dense};
-use crate::{parallel, sparse, Result, Tensor, TensorError, Workspace};
+use crate::quant::QuantizedWeights;
+use crate::{parallel, Result, Tensor, TensorError, Workspace};
 
 /// Geometry of a 2-D convolution (square kernel, symmetric padding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -283,6 +285,30 @@ pub fn conv2d_ws(
     spec: &Conv2dSpec,
     ws: &mut Workspace,
 ) -> Result<Tensor> {
+    let (density, binary) = input.spike_stats();
+    conv2d_ws_with(backend::choose_kernel(density, binary), input, weight, bias, spec, ws)
+}
+
+/// [`conv2d_ws`] with the kernel family fixed by the caller (layers pick it
+/// once per forward via [`crate::backend::choose_layer`] so the choice can
+/// be recorded). On the bitset branch the im2col unfolding is **bit-packed**
+/// — one `u64` word per 64 patch taps, built directly from the NCHW input —
+/// and the product becomes word-driven row adds.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_ws`], plus
+/// [`TensorError::InvalidArgument`] for [`BackendKind::Quantized`] (which
+/// needs a [`QuantizedWeights`] cache — use [`conv2d_ws_quant`]) or a
+/// non-binary input forced down the bitset branch.
+pub fn conv2d_ws_with(
+    kind: BackendKind,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
     let [n, c, h, w] = dims4(input)?;
     if c != spec.in_channels {
         return Err(TensorError::ShapeMismatch {
@@ -312,22 +338,100 @@ pub fn conv2d_ws(
     transpose_into(weight.data(), co, pl, &mut w_t);
     let mut out_mat = ws.take(rows * co);
     if rows > 0 {
-        if input.density() <= sparse::density_threshold() {
-            let mut sm = ws.take_spike();
-            sm.build_from_im2col(input, spec)?;
-            sm.matmul_into(&w_t, co, &mut out_mat);
-            ws.recycle_spike(sm);
-        } else {
-            let mut cols = ws.take(rows * pl);
-            im2col_core(input.data(), [n, c, h, w], spec, oh, ow, &mut cols);
-            matmul_dense(&cols, rows, pl, &w_t, co, &mut out_mat);
-            ws.recycle(cols);
+        match kind {
+            BackendKind::Csr => {
+                let mut sm = ws.take_spike();
+                sm.build_from_im2col(input, spec)?;
+                sm.matmul_into(&w_t, co, &mut out_mat);
+                ws.recycle_spike(sm);
+            }
+            BackendKind::Bitset => {
+                let mut bm = ws.take_bits();
+                bm.build_from_im2col(input, spec)?;
+                bm.matmul_into(&w_t, co, &mut out_mat);
+                ws.recycle_bits(bm);
+            }
+            BackendKind::Dense => {
+                let mut cols = ws.take(rows * pl);
+                im2col_core(input.data(), [n, c, h, w], spec, oh, ow, &mut cols);
+                matmul_dense(&cols, rows, pl, &w_t, co, &mut out_mat);
+                ws.recycle(cols);
+            }
+            BackendKind::Quantized => {
+                return Err(TensorError::InvalidArgument(
+                    "conv2d_ws_with cannot run the quantized backend; quantize the \
+                     weights and call conv2d_ws_quant"
+                        .into(),
+                ));
+            }
         }
         if let Some(b) = bias {
             add_bias_rows(&mut out_mat, co, rows, b.data());
         }
     }
     ws.recycle(w_t);
+    let mut out = ws.take(n * co * oh * ow);
+    rows_to_nchw_core(&out_mat, n, co, oh, ow, &mut out);
+    ws.recycle(out_mat);
+    Tensor::from_vec(out, &[n, co, oh, ow])
+}
+
+/// Quantized convolution forward: for a binary input the bit-packed im2col
+/// feeds the integer kernel — each output element is an exact `i32` sum of
+/// the active weight codes in the filter's **natural** `[c_out, c_in*k*k]`
+/// layout (no transpose needed) rescaled once by `Δ` — and a non-binary
+/// input falls back to the ordinary [`conv2d_ws`] dispatch over the
+/// on-grid dequantized weights. Deterministic and thread-count-invariant
+/// on both branches.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_ws`].
+pub fn conv2d_ws_quant(
+    input: &Tensor,
+    qw: &QuantizedWeights,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let (_, binary) = input.spike_stats();
+    if !binary {
+        return conv2d_ws(input, qw.dequantized(), bias, spec, ws);
+    }
+    let [n, c, h, w] = dims4(input)?;
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, spec.in_channels, h, w],
+            actual: input.dims().to_vec(),
+        });
+    }
+    let co = spec.out_channels;
+    if [qw.rows(), qw.cols()] != spec.weight_dims() {
+        return Err(TensorError::ShapeMismatch {
+            expected: spec.weight_dims().to_vec(),
+            actual: vec![qw.rows(), qw.cols()],
+        });
+    }
+    if let Some(b) = bias {
+        if b.dims() != [co] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![co],
+                actual: b.dims().to_vec(),
+            });
+        }
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let rows = n * oh * ow;
+    let mut out_mat = ws.take(rows * co);
+    if rows > 0 {
+        let mut bm = ws.take_bits();
+        bm.build_from_im2col(input, spec)?;
+        qw.matmul_nt_bits_into(&bm, &mut out_mat);
+        ws.recycle_bits(bm);
+        if let Some(b) = bias {
+            add_bias_rows(&mut out_mat, co, rows, b.data());
+        }
+    }
     let mut out = ws.take(n * co * oh * ow);
     rows_to_nchw_core(&out_mat, n, co, oh, ow, &mut out);
     ws.recycle(out_mat);
@@ -445,7 +549,7 @@ fn dims4(t: &Tensor) -> Result<[usize; 4]> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TensorRng;
+    use crate::{sparse, TensorRng};
 
     fn naive_conv(
         input: &Tensor,

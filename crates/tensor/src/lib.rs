@@ -13,12 +13,18 @@
 //! `1` (exactly the old serial path) or any larger worker count, and exactly
 //! reproducible across runs.
 //!
-//! Spike-shaped operands additionally take an **event-driven sparse path**
-//! ([`sparse`]): the matmul/conv entry points measure operand density and
-//! switch to gather-accumulate kernels over a [`SpikeMatrix`] below a
-//! configurable threshold, preserving the accumulation order so dense and
-//! sparse results stay bitwise identical. The [`Workspace`] arena makes the
-//! Eval-mode timestep loop allocation-free after one warm-up pass.
+//! Spike-shaped operands additionally dispatch through the pluggable
+//! **kernel-backend seam** ([`backend`]): the matmul/conv entry points
+//! measure operand density and binarity in one pass and pick between the
+//! dense blocked kernels, event-driven CSR gathers over a [`SpikeMatrix`]
+//! ([`sparse`]), and bit-packed word kernels over a [`BitMatrix`]
+//! ([`bitset`]) — all three preserve the accumulation order, so results
+//! stay bitwise identical whichever family runs. A fourth, **quantized**
+//! family ([`QuantizedWeights`], [`quant`]) freezes weights onto the IMC
+//! int8 grid with exact integer accumulation; it intentionally changes
+//! numerics and carries its own golden traces. The [`Workspace`] arena
+//! makes the Eval-mode timestep loop allocation-free after one warm-up
+//! pass.
 //!
 //! # Example
 //!
@@ -37,23 +43,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod bitset;
 mod conv;
 mod error;
 mod linalg;
 mod ops;
 pub mod parallel;
 mod pool;
+pub mod quant;
 mod rng;
 mod shape;
 pub mod sparse;
 mod tensor;
 mod workspace;
 
-pub use conv::{col2im, conv2d, conv2d_backward, conv2d_ws, im2col, Conv2dSpec};
+pub use backend::{kernel_backend, BackendKind, KernelBackend};
+pub use bitset::BitMatrix;
+pub use conv::{
+    col2im, conv2d, conv2d_backward, conv2d_ws, conv2d_ws_quant, conv2d_ws_with, im2col,
+    Conv2dSpec,
+};
 pub use error::TensorError;
-pub use linalg::linear_ws;
+pub use linalg::{linear_ws, linear_ws_quant, linear_ws_with};
 pub use ops::{log_softmax_rows, softmax_rows};
 pub use pool::{avg_pool2d, avg_pool2d_backward, avg_pool2d_ws, global_avg_pool, PoolSpec};
+pub use quant::QuantizedWeights;
 pub use rng::TensorRng;
 pub use shape::Shape;
 pub use sparse::SpikeMatrix;

@@ -7,13 +7,17 @@
 //! `DTSNN_THREADS` value.
 //!
 //! Each public entry point measures the left operand's spike density and
-//! dispatches to the event-driven [`crate::SpikeMatrix`] gather kernels when
-//! it is at or below [`crate::sparse::density_threshold`]; the sparse path
-//! preserves the per-element accumulation order exactly, so dispatch never
-//! changes a single output bit (see the `sparse` module docs for the
-//! argument).
+//! binarity in one pass ([`crate::Tensor::spike_stats`]) and asks
+//! [`crate::backend::choose_kernel`] which kernel family to run: dense
+//! blocked f32, CSR gathers ([`crate::SpikeMatrix`]) for sparse non-binary
+//! operands, or bit-packed word kernels ([`crate::BitMatrix`]) for sparse
+//! binary ones. All three preserve the per-element accumulation order
+//! exactly, so dispatch never changes a single output bit (see the `sparse`
+//! and `bitset` module docs for the argument).
 
-use crate::{parallel, sparse, Result, SpikeMatrix, Tensor, TensorError, Workspace};
+use crate::backend::{self, BackendKind};
+use crate::quant::QuantizedWeights;
+use crate::{parallel, BitMatrix, Result, SpikeMatrix, Tensor, TensorError, Workspace};
 
 /// K-dimension tile: one tile of `b` rows (`BLOCK_K × BLOCK_N` floats) stays
 /// cache-hot across all output rows of a worker's chunk. Per output element
@@ -145,12 +149,20 @@ impl Tensor {
         if m == 0 || n == 0 {
             return Ok(out);
         }
-        if self.density() <= sparse::density_threshold() {
-            let mut sm = SpikeMatrix::new();
-            sm.build_from_dense(self.data(), m, k)?;
-            sm.matmul_into(rhs.data(), n, out.data_mut());
-        } else {
-            matmul_dense(self.data(), m, k, rhs.data(), n, out.data_mut());
+        let (density, binary) = self.spike_stats();
+        match backend::choose_kernel(density, binary) {
+            BackendKind::Csr => {
+                let mut sm = SpikeMatrix::new();
+                sm.build_from_dense(self.data(), m, k)?;
+                sm.matmul_into(rhs.data(), n, out.data_mut());
+            }
+            BackendKind::Bitset => {
+                let mut bm = BitMatrix::new();
+                bm.build_from_dense(self.data(), m, k)?;
+                bm.matmul_into(rhs.data(), n, out.data_mut());
+            }
+            // choose_kernel never yields Quantized; Dense is the reference
+            _ => matmul_dense(self.data(), m, k, rhs.data(), n, out.data_mut()),
         }
         Ok(out)
     }
@@ -172,12 +184,19 @@ impl Tensor {
         if m == 0 || n == 0 {
             return Ok(out);
         }
-        if self.density() <= sparse::density_threshold() {
-            let mut sm = SpikeMatrix::new();
-            sm.build_transposed_from_dense(self.data(), k, m)?;
-            sm.matmul_into(rhs.data(), n, out.data_mut());
-        } else {
-            matmul_tn_dense(self.data(), k, m, rhs.data(), n, out.data_mut());
+        let (density, binary) = self.spike_stats();
+        match backend::choose_kernel(density, binary) {
+            BackendKind::Csr => {
+                let mut sm = SpikeMatrix::new();
+                sm.build_transposed_from_dense(self.data(), k, m)?;
+                sm.matmul_into(rhs.data(), n, out.data_mut());
+            }
+            BackendKind::Bitset => {
+                let mut bm = BitMatrix::new();
+                bm.build_transposed_from_dense(self.data(), k, m)?;
+                bm.matmul_into(rhs.data(), n, out.data_mut());
+            }
+            _ => matmul_tn_dense(self.data(), k, m, rhs.data(), n, out.data_mut()),
         }
         Ok(out)
     }
@@ -199,12 +218,19 @@ impl Tensor {
         if m == 0 || n == 0 {
             return Ok(out);
         }
-        if self.density() <= sparse::density_threshold() {
-            let mut sm = SpikeMatrix::new();
-            sm.build_from_dense(self.data(), m, k)?;
-            sm.matmul_nt_into(rhs.data(), n, out.data_mut());
-        } else {
-            matmul_nt_dense(self.data(), m, k, rhs.data(), n, out.data_mut());
+        let (density, binary) = self.spike_stats();
+        match backend::choose_kernel(density, binary) {
+            BackendKind::Csr => {
+                let mut sm = SpikeMatrix::new();
+                sm.build_from_dense(self.data(), m, k)?;
+                sm.matmul_nt_into(rhs.data(), n, out.data_mut());
+            }
+            BackendKind::Bitset => {
+                let mut bm = BitMatrix::new();
+                bm.build_from_dense(self.data(), m, k)?;
+                bm.matmul_nt_into(rhs.data(), n, out.data_mut());
+            }
+            _ => matmul_nt_dense(self.data(), m, k, rhs.data(), n, out.data_mut()),
         }
         Ok(out)
     }
@@ -261,6 +287,28 @@ pub fn linear_ws(
     bias: &Tensor,
     ws: &mut Workspace,
 ) -> Result<Tensor> {
+    let (density, binary) = input.spike_stats();
+    linear_ws_with(backend::choose_kernel(density, binary), input, weight, bias, ws)
+}
+
+/// [`linear_ws`] with the kernel family fixed by the caller (layers pick it
+/// once per forward via [`crate::backend::choose_layer`] so the choice can
+/// be recorded). `kind` must be one of the f32 families; the bitset branch
+/// additionally requires a binary input.
+///
+/// # Errors
+///
+/// Same conditions as [`linear_ws`], plus
+/// [`TensorError::InvalidArgument`] for [`BackendKind::Quantized`] (which
+/// needs a [`QuantizedWeights`] cache — use [`linear_ws_quant`]) or a
+/// non-binary input forced down the bitset branch.
+pub fn linear_ws_with(
+    kind: BackendKind,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
     let (m, k) = mat_dims(input)?;
     let (n, k2) = mat_dims(weight)?;
     if k != k2 {
@@ -271,14 +319,68 @@ pub fn linear_ws(
     }
     let mut out = ws.take(m * n);
     if m > 0 && n > 0 {
-        if input.density() <= sparse::density_threshold() {
-            let mut sm = ws.take_spike();
-            sm.build_from_dense(input.data(), m, k)?;
-            sm.matmul_nt_into(weight.data(), n, &mut out);
-            ws.recycle_spike(sm);
-        } else {
-            matmul_nt_dense(input.data(), m, k, weight.data(), n, &mut out);
+        match kind {
+            BackendKind::Csr => {
+                let mut sm = ws.take_spike();
+                sm.build_from_dense(input.data(), m, k)?;
+                sm.matmul_nt_into(weight.data(), n, &mut out);
+                ws.recycle_spike(sm);
+            }
+            BackendKind::Bitset => {
+                let mut bm = ws.take_bits();
+                bm.build_from_dense(input.data(), m, k)?;
+                bm.matmul_nt_into(weight.data(), n, &mut out);
+                ws.recycle_bits(bm);
+            }
+            BackendKind::Dense => {
+                matmul_nt_dense(input.data(), m, k, weight.data(), n, &mut out);
+            }
+            BackendKind::Quantized => {
+                return Err(TensorError::InvalidArgument(
+                    "linear_ws_with cannot run the quantized backend; quantize the \
+                     weights and call linear_ws_quant"
+                        .into(),
+                ));
+            }
         }
+        add_bias_rows(&mut out, n, m, bias.data());
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Quantized fully-connected forward: for a binary input, an exact `i32`
+/// accumulation of the weight codes over the active inputs with a single
+/// rescale per output element (plus the f32 bias); for a non-binary input,
+/// the ordinary [`linear_ws`] dispatch over the on-grid dequantized
+/// weights. Deterministic and thread-count-invariant on both branches.
+///
+/// # Errors
+///
+/// Same conditions as [`linear_ws`].
+pub fn linear_ws_quant(
+    input: &Tensor,
+    qw: &QuantizedWeights,
+    bias: &Tensor,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let (_, binary) = input.spike_stats();
+    if !binary {
+        return linear_ws(input, qw.dequantized(), bias, ws);
+    }
+    let (m, k) = mat_dims(input)?;
+    let n = qw.rows();
+    if k != qw.cols() {
+        return Err(TensorError::MatmulDims { lhs_cols: k, rhs_rows: qw.cols() });
+    }
+    if bias.dims() != [n] {
+        return Err(TensorError::ShapeMismatch { expected: vec![n], actual: bias.dims().to_vec() });
+    }
+    let mut out = ws.take(m * n);
+    if m > 0 && n > 0 {
+        let mut bm = ws.take_bits();
+        bm.build_from_dense(input.data(), m, k)?;
+        qw.matmul_nt_bits_into(&bm, &mut out);
+        ws.recycle_bits(bm);
         add_bias_rows(&mut out, n, m, bias.data());
     }
     Tensor::from_vec(out, &[m, n])
@@ -294,7 +396,7 @@ fn mat_dims(t: &Tensor) -> Result<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TensorRng;
+    use crate::{sparse, TensorRng};
 
     #[test]
     fn matmul_identity() {

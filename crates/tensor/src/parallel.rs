@@ -42,6 +42,12 @@ pub fn clamp_threads(n: usize) -> usize {
     n.clamp(1, MAX_THREADS)
 }
 
+/// Parses a `DTSNN_THREADS` value; `None` flags a malformed string (the
+/// caller warns and falls back to the hardware default).
+pub(crate) fn parse_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok()
+}
+
 /// The configured worker count (override → `DTSNN_THREADS` → hardware).
 pub fn num_threads() -> usize {
     let forced = OVERRIDE.load(Ordering::Relaxed);
@@ -49,9 +55,17 @@ pub fn num_threads() -> usize {
         return forced;
     }
     *ENV_THREADS.get_or_init(|| match std::env::var("DTSNN_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) => clamp_threads(n),
-            Err(_) => hardware_threads(),
+        Ok(v) => match parse_threads(&v) {
+            Some(n) => clamp_threads(n),
+            None => {
+                // OnceLock init runs at most once, so this warning cannot
+                // repeat per process.
+                eprintln!(
+                    "dtsnn: warning: DTSNN_THREADS={v:?} is not a worker count; \
+                     using the hardware default"
+                );
+                hardware_threads()
+            }
         },
         Err(_) => hardware_threads(),
     })
@@ -232,6 +246,19 @@ mod tests {
                 assert_eq!(*v, i * 10);
             }
         }
+    }
+
+    #[test]
+    fn malformed_thread_counts_are_rejected_by_the_parser() {
+        // num_threads() reads the env exactly once per process, so the
+        // malformed-input behavior is pinned at the parser seam: `None`
+        // means "warn and fall back to the hardware default".
+        for bad in ["abc", "", "  ", "1.5", "-1", "0x4", "4 workers", "٤"] {
+            assert_eq!(parse_threads(bad), None, "{bad:?} must be rejected");
+        }
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads("  8  "), Some(8));
+        assert_eq!(parse_threads("0"), Some(0)); // clamped to 1 later
     }
 
     #[test]

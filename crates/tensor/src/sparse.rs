@@ -54,6 +54,12 @@ fn clamp_threshold(t: f32) -> f32 {
     }
 }
 
+/// Parses a `DTSNN_SPARSE_THRESHOLD` value; `None` flags a malformed
+/// string (the caller warns and falls back to the default).
+pub(crate) fn parse_threshold(raw: &str) -> Option<f32> {
+    raw.trim().parse::<f32>().ok()
+}
+
 /// The active sparse-dispatch density threshold (override → env → default).
 pub fn density_threshold() -> f32 {
     let packed = OVERRIDE.load(Ordering::Relaxed);
@@ -61,11 +67,20 @@ pub fn density_threshold() -> f32 {
         return f32::from_bits((packed - 1) as u32);
     }
     ENV_THRESHOLD
-        .get_or_init(|| {
-            std::env::var("DTSNN_SPARSE_THRESHOLD")
-                .ok()
-                .and_then(|v| v.trim().parse::<f32>().ok())
-                .map(clamp_threshold)
+        .get_or_init(|| match std::env::var("DTSNN_SPARSE_THRESHOLD") {
+            Ok(v) => match parse_threshold(&v) {
+                Some(t) => Some(clamp_threshold(t)),
+                None => {
+                    // OnceLock init runs at most once, so this warning
+                    // cannot repeat per process.
+                    eprintln!(
+                        "dtsnn: warning: DTSNN_SPARSE_THRESHOLD={v:?} is not a number; \
+                         using the default threshold {DEFAULT_DENSITY_THRESHOLD}"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
         })
         .unwrap_or(DEFAULT_DENSITY_THRESHOLD)
 }
@@ -438,6 +453,20 @@ mod tests {
             with_density_threshold(-1.0, || assert_eq!(density_threshold(), -1.0));
             assert_eq!(density_threshold(), 0.5);
         });
+    }
+
+    #[test]
+    fn malformed_thresholds_are_rejected_by_the_parser() {
+        // density_threshold() reads the env exactly once per process, so the
+        // malformed-input behavior is pinned at the parser seam: `None`
+        // means "warn and fall back to DEFAULT_DENSITY_THRESHOLD".
+        for bad in ["abc", "", "  ", "0.1.2", "25%", "0,25", "half"] {
+            assert_eq!(parse_threshold(bad), None, "{bad:?} must be rejected");
+        }
+        assert_eq!(parse_threshold("0.5"), Some(0.5));
+        assert_eq!(parse_threshold("  -1 "), Some(-1.0));
+        // NaN parses but clamps back to the default downstream
+        assert_eq!(parse_threshold("NaN").map(clamp_threshold), Some(DEFAULT_DENSITY_THRESHOLD));
     }
 
     #[test]

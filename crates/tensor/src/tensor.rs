@@ -370,6 +370,26 @@ impl Tensor {
         self.data.iter().filter(|&&x| x != 0.0).count() as f32 / self.data.len() as f32
     }
 
+    /// One-pass density **and** binarity measurement for backend dispatch:
+    /// `(density, binary)` where `density` equals [`Tensor::density`]
+    /// (same integer count over the same length) and `binary` is whether
+    /// every nonzero element is exactly `1.0` (`-0.0` counts as zero; an
+    /// empty tensor is trivially binary).
+    pub fn spike_stats(&self) -> (f32, bool) {
+        if self.data.is_empty() {
+            return (0.0, true);
+        }
+        let mut nnz = 0usize;
+        let mut binary = true;
+        for &v in &self.data {
+            if v != 0.0 {
+                nnz += 1;
+                binary &= v == 1.0;
+            }
+        }
+        (nnz as f32 / self.data.len() as f32, binary)
+    }
+
     /// Fraction of nonzero elements in each axis-0 row.
     ///
     /// Entry `k` is bitwise identical to `self.select_rows(&[k]).density()`,

@@ -25,7 +25,7 @@
 //! - Contents of recycled buffers are dead immediately; the arena clears
 //!   them on the next `take`.
 
-use crate::{SpikeMatrix, Tensor};
+use crate::{BitMatrix, SpikeMatrix, Tensor};
 
 /// Freelist cap: more parked buffers than this and the oldest is dropped.
 /// A full VGG/ResNet eval pass keeps well under this many live scratch
@@ -51,6 +51,7 @@ pub struct WorkspaceStats {
 pub struct Workspace {
     free: Vec<Vec<f32>>,
     spike: SpikeMatrix,
+    bits: BitMatrix,
     takes: u64,
     misses: u64,
 }
@@ -131,6 +132,19 @@ impl Workspace {
         self.spike = sm;
     }
 
+    /// Borrows the arena's [`BitMatrix`] scratch for the bit-packed
+    /// kernels (moved out like [`Workspace::take_spike`]); return it with
+    /// [`Workspace::recycle_bits`]. Its word capacity is retained across
+    /// builds, so the warmed bitset path allocates nothing.
+    pub fn take_bits(&mut self) -> BitMatrix {
+        std::mem::take(&mut self.bits)
+    }
+
+    /// Returns the bitset scratch taken with [`Workspace::take_bits`].
+    pub fn recycle_bits(&mut self, bm: BitMatrix) {
+        self.bits = bm;
+    }
+
     /// Current allocation counters.
     pub fn stats(&self) -> WorkspaceStats {
         WorkspaceStats { takes: self.takes, misses: self.misses }
@@ -204,6 +218,52 @@ mod tests {
             ws.recycle(Vec::with_capacity(i + 1));
         }
         assert!(ws.free.len() <= MAX_FREE);
+    }
+
+    #[test]
+    fn full_freelist_still_serves_best_fit_under_eviction_pressure() {
+        // Fill the freelist to its cap with distinct capacities, then check
+        // the boundary behaviors: best-fit `take` with a full list, eviction
+        // of the smallest buffer when recycling past the cap, and an honest
+        // miss when no parked buffer is large enough.
+        let mut ws = Workspace::new();
+        for i in 1..=MAX_FREE {
+            ws.recycle(Vec::with_capacity(8 * i));
+        }
+        assert_eq!(ws.free.len(), MAX_FREE);
+        ws.reset_stats();
+
+        // best-fit with a full freelist: smallest sufficient capacity wins
+        let buf = ws.take(60); // fits the 64-cap buffer, not 56
+        assert_eq!(ws.stats().misses, 0);
+        assert!(buf.capacity() >= 60 && buf.capacity() < 72, "cap={}", buf.capacity());
+        ws.recycle(buf); // back to exactly MAX_FREE parked buffers
+        assert_eq!(ws.free.len(), MAX_FREE);
+
+        // recycling one more evicts the smallest parked buffer, not the new one
+        ws.recycle(Vec::with_capacity(8 * (MAX_FREE + 1)));
+        assert_eq!(ws.free.len(), MAX_FREE);
+        let min_cap = ws.free.iter().map(Vec::capacity).min().unwrap();
+        assert!(min_cap >= 16, "smallest (8) must be evicted, min now {min_cap}");
+
+        // a request larger than every parked buffer is an honest miss even
+        // under full-freelist pressure
+        ws.reset_stats();
+        let huge = ws.take(8 * (MAX_FREE + 2));
+        assert_eq!(ws.stats(), WorkspaceStats { takes: 1, misses: 1 });
+        ws.recycle(huge);
+        assert_eq!(ws.free.len(), MAX_FREE);
+    }
+
+    #[test]
+    fn bits_scratch_roundtrips() {
+        let mut ws = Workspace::new();
+        let mut bm = ws.take_bits();
+        bm.build_from_dense(&[1.0, 0.0, 0.0, 1.0], 2, 2).unwrap();
+        ws.recycle_bits(bm);
+        let bm = ws.take_bits();
+        assert_eq!(bm.nnz(), 2);
+        ws.recycle_bits(bm);
     }
 
     #[test]

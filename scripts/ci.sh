@@ -72,4 +72,20 @@ for threads in 1 4; do
     DTSNN_THREADS=$threads cargo test -q -p dtsnn-core robustness
 done
 
+# Backend stage: the pluggable kernel seam. Dense/CSR/bitset must agree
+# bitwise on raw kernels and on whole forward passes forced down each
+# family via the scoped override (fuzz oracle 9 runs inside fuzz_smoke;
+# the snn test forces full networks end-to-end), and the quantized int8
+# weight path must replay its own committed goldens — all at both ambient
+# worker counts.
+for threads in 1 4; do
+    echo "== backend stage: dense/CSR/bitset equivalence (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor backend
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor bitset
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor quant
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-snn forced_backends
+    echo "== backend stage: quantized golden replay (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-conformance --test golden_replay quant
+done
+
 echo "ci.sh: all green"
