@@ -41,6 +41,12 @@
 //!    densities under 1 worker and under 4; the quantized backend (a real
 //!    numeric change, pinned by its own goldens) must be reproducible,
 //!    thread-count invariant and finite.
+//! 10. **Continuous-batching server ≡ sequential runner** — a seeded
+//!     request trace replayed through the simulated-clock serving engine
+//!     (staggered arrivals, mid-window admissions, compaction-retired
+//!     rows) must reproduce each request's solo [`DynamicInference`]
+//!     run bitwise — prediction, T̂ and accumulated logits — under 1
+//!     worker and under 4.
 
 use dtsnn_bench::Arch;
 use dtsnn_core::{
@@ -500,6 +506,94 @@ fn oracle_backend_equivalence(case: &FuzzCase) -> Result<(), String> {
     Ok(())
 }
 
+fn oracle_serving_equals_sequential(case: &FuzzCase) -> Result<(), String> {
+    use dtsnn_serve::{
+        replay_trace, CompletionStatus, Request, Server, ServerConfig, ServiceModel, SimClock,
+        ThetaController, TracedRequest,
+    };
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(case.theta).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    // staggered arrivals under 2 slots force mid-window admissions into
+    // carried LIF state whenever exits free slots out of phase
+    let samples = 5usize;
+    let trace: Vec<TracedRequest> = (0..samples)
+        .map(|k| TracedRequest {
+            at_nanos: k as u64 * 700,
+            request: Request {
+                id: k as u64,
+                frames: vec![case.frame(0x5E7_5E7 + k as u64)],
+                deadline_nanos: None,
+            },
+        })
+        .collect();
+    let config = ServerConfig {
+        max_timesteps: case.timesteps,
+        slots: 2,
+        queue_capacity: samples,
+        theta: ThetaController::fixed(case.theta).map_err(|e| e.to_string())?,
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 100 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    };
+    for threads in [1usize, 4] {
+        let outcomes = parallel::with_threads(threads, || -> Result<_, String> {
+            let net = case.build(9)?;
+            let mut server =
+                Server::new(net, config.clone(), SimClock::new()).map_err(|e| e.to_string())?;
+            replay_trace(&mut server, &trace).map_err(|e| e.to_string())?;
+            Ok(server.take_outcomes())
+        })?;
+        if outcomes.len() != samples {
+            return Err(format!(
+                "{threads}-worker server returned {} outcomes for {samples} requests",
+                outcomes.len()
+            ));
+        }
+        for tr in &trace {
+            let outcome = outcomes
+                .iter()
+                .find(|o| o.id == tr.request.id)
+                .ok_or_else(|| format!("request {} has no outcome", tr.request.id))?;
+            if outcome.status != CompletionStatus::Completed {
+                return Err(format!(
+                    "{threads}-worker request {} ended {:?} without deadlines configured",
+                    tr.request.id, outcome.status
+                ));
+            }
+            let mut net = case.build(9)?;
+            let solo = runner
+                .run_traced(&mut net, &tr.request.frames)
+                .map_err(|e| e.to_string())?;
+            if outcome.prediction != Some(solo.outcome.prediction)
+                || outcome.timesteps_used != solo.outcome.timesteps_used
+            {
+                return Err(format!(
+                    "{threads}-worker request {}: server (pred {:?}, T̂ {}) vs solo (pred {}, T̂ {})",
+                    tr.request.id,
+                    outcome.prediction,
+                    outcome.timesteps_used,
+                    solo.outcome.prediction,
+                    solo.outcome.timesteps_used
+                ));
+            }
+            let solo_acc = &solo.per_timestep.last().expect("nonempty trace").accumulated_logits;
+            let server_bits: Vec<u32> =
+                outcome.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+            let solo_bits: Vec<u32> = solo_acc.iter().map(|v| v.to_bits()).collect();
+            if server_bits != solo_bits {
+                return Err(format!(
+                    "{threads}-worker request {}: accumulated logits differ bitwise from the solo run",
+                    tr.request.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs every oracle against `case`, returning the first violation.
 ///
 /// # Errors
@@ -516,6 +610,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     oracle_fault_injection_invariants(case).map_err(|e| format!("fault-injection: {e}"))?;
     oracle_sparse_equals_dense(case).map_err(|e| format!("sparse≡dense: {e}"))?;
     oracle_backend_equivalence(case).map_err(|e| format!("backend-equivalence: {e}"))?;
+    oracle_serving_equals_sequential(case).map_err(|e| format!("serving≡sequential: {e}"))?;
     Ok(())
 }
 

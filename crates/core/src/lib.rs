@@ -59,7 +59,7 @@ pub use robustness::{
 };
 pub use sweep::{SweepPoint, ThresholdSweep};
 pub use throughput::{
-    measure_batched_dynamic_throughput, measure_dynamic_throughput, measure_throughput,
+    measure_batched_dynamic_throughput, measure_dynamic_throughput, measure_throughput, ClonePool,
     ThroughputReport,
 };
 pub use visualize::{ascii_render, bucket_by_timesteps};

@@ -20,6 +20,7 @@ use crate::inference::{static_inference, DynamicInference};
 use crate::{CoreError, Result};
 use dtsnn_snn::Snn;
 use dtsnn_tensor::{parallel, Tensor};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -58,28 +59,69 @@ fn validate_inputs(
     Ok(())
 }
 
-/// One pre-cloned network per worker, built outside the timed span so the
+/// A pool of pre-built network clones, built outside any timed span so the
 /// clock measures inference rather than `Snn::clone`. Workers check a clone
-/// out of the pool on chunk entry and return it on exit; all clones are
-/// identical, so pool order does not affect results.
-struct ClonePool(Mutex<Vec<Snn>>);
+/// out on chunk entry and return it on exit; all clones are identical, so
+/// pool order does not affect results.
+///
+/// The pool is *not* fixed to the worker count it was built for: a checkout
+/// from an exhausted pool clones the prototype on demand (counted by
+/// [`ClonePool::extra_clones`]) and the new clone joins the pool when
+/// returned. A long-lived pool therefore converges on the peak observed
+/// concurrency and stops cloning — the serving path can reuse one pool
+/// across windows of different widths without silently re-cloning per
+/// window, and a `DTSNN_THREADS` change mid-lifetime degrades to a one-time
+/// warm-up cost instead of a panic.
+pub struct ClonePool {
+    proto: Snn,
+    free: Mutex<Vec<Snn>>,
+    extra_clones: AtomicUsize,
+}
 
 impl ClonePool {
-    fn build(proto: &Snn, samples: usize) -> Self {
-        let workers = parallel::num_threads().min(samples).max(1);
-        ClonePool(Mutex::new((0..workers).map(|_| proto.clone()).collect()))
+    /// A pool pre-seeded with exactly `capacity.max(1)` clones.
+    pub fn with_capacity(proto: &Snn, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ClonePool {
+            proto: proto.clone(),
+            free: Mutex::new((0..capacity).map(|_| proto.clone()).collect()),
+            extra_clones: AtomicUsize::new(0),
+        }
     }
 
-    fn with<R>(&self, f: impl FnOnce(&mut Snn) -> R) -> R {
-        let mut net = self
-            .0
-            .lock()
-            .expect("clone pool poisoned")
-            .pop()
-            .expect("pool sized to worker count");
+    /// A pool sized to the current `DTSNN_THREADS` worker count, capped by
+    /// the number of work items (building clones no worker will hold is
+    /// wasted memory).
+    pub fn for_current_threads(proto: &Snn, samples: usize) -> Self {
+        ClonePool::with_capacity(proto, parallel::num_threads().min(samples).max(1))
+    }
+
+    /// Checks a clone out, runs `f` on it, and returns it to the pool.
+    ///
+    /// Exhaustion is not an error: an empty pool clones the prototype on
+    /// demand and the fresh clone is pooled afterwards, growing the pool to
+    /// the observed concurrency.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Snn) -> R) -> R {
+        let checked_out = self.free.lock().expect("clone pool poisoned").pop();
+        let mut net = checked_out.unwrap_or_else(|| {
+            self.extra_clones.fetch_add(1, Ordering::Relaxed);
+            self.proto.clone()
+        });
         let out = f(&mut net);
-        self.0.lock().expect("clone pool poisoned").push(net);
+        self.free.lock().expect("clone pool poisoned").push(net);
         out
+    }
+
+    /// Clones built on demand because a checkout found the pool empty —
+    /// zero whenever the pre-built capacity covered the actual concurrency.
+    pub fn extra_clones(&self) -> usize {
+        self.extra_clones.load(Ordering::Relaxed)
+    }
+
+    /// Clones currently parked in the pool (pre-built plus any on-demand
+    /// clones that have been returned).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().expect("clone pool poisoned").len()
     }
 }
 
@@ -96,7 +138,7 @@ pub fn measure_throughput(
     timesteps: usize,
 ) -> Result<ThroughputReport> {
     validate_inputs(frames, labels, timesteps)?;
-    let pool = ClonePool::build(network, frames.len());
+    let pool = ClonePool::for_current_threads(network, frames.len());
     let indices: Vec<usize> = (0..frames.len()).collect();
     let start = Instant::now();
     // Per-sample fan-out over pooled clones; predictions fold back in
@@ -133,7 +175,7 @@ pub fn measure_dynamic_throughput(
     labels: &[usize],
 ) -> Result<ThroughputReport> {
     validate_inputs(frames, labels, runner.max_timesteps())?;
-    let pool = ClonePool::build(network, frames.len());
+    let pool = ClonePool::for_current_threads(network, frames.len());
     let indices: Vec<usize> = (0..frames.len()).collect();
     let start = Instant::now();
     let per_sample = parallel::map_chunks(&indices, |_, chunk| {
@@ -288,5 +330,52 @@ mod tests {
     fn rejects_empty_data() {
         let mut net = tiny_net(4);
         assert!(measure_throughput(&mut net, &[], &[], 1).is_err());
+    }
+
+    #[test]
+    fn clone_pool_sized_to_concurrency_never_reclones() {
+        // the serving-path reuse contract: once the pool covers the worker
+        // count, repeated windows check clones out and in without ever
+        // touching Snn::clone again
+        let proto = tiny_net(6);
+        parallel::with_threads(2, || {
+            let pool = ClonePool::for_current_threads(&proto, 64);
+            assert_eq!(pool.pooled(), 2);
+            let indices: Vec<usize> = (0..64).collect();
+            for _window in 0..3 {
+                let out = parallel::map_chunks(&indices, |_, chunk| {
+                    pool.with(|net| {
+                        net.reset_state();
+                        vec![1usize; chunk.len()]
+                    })
+                });
+                assert_eq!(out.into_iter().sum::<usize>(), 64);
+            }
+            assert_eq!(pool.extra_clones(), 0, "a matched pool must never re-clone");
+            assert_eq!(pool.pooled(), 2);
+        });
+    }
+
+    #[test]
+    fn clone_pool_oversubscription_grows_once_then_reuses() {
+        let proto = tiny_net(7);
+        let pool = ClonePool::with_capacity(&proto, 1);
+        // nested checkout exhausts the single pre-built clone; the inner
+        // one falls back to cloning the prototype instead of panicking
+        pool.with(|_outer| pool.with(|_inner| ()));
+        assert_eq!(pool.extra_clones(), 1);
+        assert_eq!(pool.pooled(), 2, "the on-demand clone joins the pool");
+        // the pool has grown to the observed concurrency: the same shape
+        // of work re-clones nothing
+        pool.with(|_outer| pool.with(|_inner| ()));
+        assert_eq!(pool.extra_clones(), 1, "the second window must reuse, not re-clone");
+    }
+
+    #[test]
+    fn clone_pool_capacity_floor_is_one() {
+        let proto = tiny_net(8);
+        let pool = ClonePool::with_capacity(&proto, 0);
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.with(|_net| 41) + 1, 42);
     }
 }

@@ -1,0 +1,118 @@
+//! SLO-aware dynamic θ: tighten the exit threshold under queue pressure to
+//! shed timesteps, relax it when idle, always inside a configured band.
+
+use crate::{Result, ServeError};
+
+/// Maps queue depth to an entropy-exit threshold θ.
+///
+/// The paper's policy exits when normalized entropy `E_f(x) < θ`, so a
+/// *larger* θ exits earlier (fewer timesteps, less accuracy). The
+/// controller interpolates
+///
+/// ```text
+/// θ(d) = θ_min + (θ_max − θ_min) · d / (d + half_pressure_depth)
+/// ```
+///
+/// over queue depth `d`: idle traffic gets `θ_min` (the accuracy-favoring
+/// floor), saturating overload approaches `θ_max` (the configured accuracy
+/// floor — how much quality the operator is willing to shed), and
+/// `half_pressure_depth` is the depth at which θ sits halfway. The map is
+/// monotone in `d` and clamped into `[θ_min, θ_max]`, which is exactly
+/// what the property suite asserts.
+///
+/// `θ_min == θ_max` degenerates to a fixed threshold — the configuration
+/// the bitwise parity oracles use, since a fixed θ makes the server's exit
+/// decisions comparable to the per-request sequential runner's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaController {
+    theta_min: f32,
+    theta_max: f32,
+    half_pressure_depth: f32,
+}
+
+impl ThetaController {
+    /// A controller bounded by `[theta_min, theta_max]` with the given
+    /// half-pressure queue depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] unless
+    /// `0 < theta_min ≤ theta_max ≤ 1` and `half_pressure_depth` is
+    /// positive and finite.
+    pub fn new(theta_min: f32, theta_max: f32, half_pressure_depth: f32) -> Result<Self> {
+        if !(theta_min > 0.0 && theta_min <= theta_max && theta_max <= 1.0) {
+            return Err(ServeError::InvalidConfig(format!(
+                "need 0 < theta_min <= theta_max <= 1, got [{theta_min}, {theta_max}]"
+            )));
+        }
+        if !(half_pressure_depth > 0.0 && half_pressure_depth.is_finite()) {
+            return Err(ServeError::InvalidConfig(format!(
+                "half_pressure_depth must be positive and finite, got {half_pressure_depth}"
+            )));
+        }
+        Ok(ThetaController { theta_min, theta_max, half_pressure_depth })
+    }
+
+    /// A degenerate controller that always returns `theta` — the fixed-θ
+    /// mode the parity oracles and the fixed arm of the load bench use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] unless `θ ∈ (0, 1]`.
+    pub fn fixed(theta: f32) -> Result<Self> {
+        ThetaController::new(theta, theta, 1.0)
+    }
+
+    /// The accuracy-favoring floor `θ_min`.
+    pub fn theta_min(&self) -> f32 {
+        self.theta_min
+    }
+
+    /// The load-shedding ceiling `θ_max`.
+    pub fn theta_max(&self) -> f32 {
+        self.theta_max
+    }
+
+    /// θ for the given queue depth; monotone in `queue_depth` and always
+    /// inside `[θ_min, θ_max]`.
+    pub fn theta_for(&self, queue_depth: usize) -> f32 {
+        let d = queue_depth as f32;
+        let pressure = d / (d + self.half_pressure_depth);
+        // clamp guards the float rounding at saturation; the math itself
+        // already stays inside the band
+        (self.theta_min + (self.theta_max - self.theta_min) * pressure)
+            .clamp(self.theta_min, self.theta_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_band_and_depth() {
+        assert!(ThetaController::new(0.0, 0.5, 4.0).is_err());
+        assert!(ThetaController::new(0.6, 0.5, 4.0).is_err());
+        assert!(ThetaController::new(0.5, 1.1, 4.0).is_err());
+        assert!(ThetaController::new(0.5, 0.9, 0.0).is_err());
+        assert!(ThetaController::new(0.5, 0.9, f32::NAN).is_err());
+        assert!(ThetaController::new(0.5, 0.9, 4.0).is_ok());
+    }
+
+    #[test]
+    fn idle_gets_the_floor_and_half_depth_the_midpoint() {
+        let c = ThetaController::new(0.4, 0.8, 8.0).unwrap();
+        assert_eq!(c.theta_for(0), 0.4);
+        let mid = c.theta_for(8);
+        assert!((mid - 0.6).abs() < 1e-6, "half-pressure depth gives the midpoint, got {mid}");
+    }
+
+    #[test]
+    fn fixed_controller_ignores_depth() {
+        let c = ThetaController::fixed(0.7).unwrap();
+        for d in [0usize, 1, 10, 1_000_000] {
+            assert_eq!(c.theta_for(d), 0.7);
+        }
+        assert!(ThetaController::fixed(0.0).is_err());
+    }
+}

@@ -1,0 +1,626 @@
+//! The continuous-batching engine: an open inference window whose rows
+//! retire on entropy exits and whose vacated slots admit queued requests
+//! mid-window.
+
+use crate::clock::Clock;
+use crate::controller::ThetaController;
+use crate::{Result, ServeError};
+use dtsnn_core::ExitPolicy;
+use dtsnn_snn::{Mode, Snn};
+use dtsnn_tensor::{softmax_rows, Tensor};
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::time::Duration;
+
+/// One inference request: a static frame or one frame per timestep, plus an
+/// optional latency budget.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen identifier echoed in the [`RequestOutcome`].
+    pub id: u64,
+    /// Either one `[c, h, w]` frame (static input, direct encoding) or
+    /// exactly `max_timesteps` frames (event data). A leading batch axis of
+    /// one is also accepted.
+    pub frames: Vec<Tensor>,
+    /// Latency budget in nanoseconds from arrival; `None` uses the server's
+    /// default (which may itself be "no deadline").
+    pub deadline_nanos: Option<u64>,
+}
+
+/// How a request left the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// Exited (early or at the full window) within its deadline.
+    Completed,
+    /// Terminated past its deadline — while queued (no prediction) or
+    /// mid-window (best-effort prediction from the logits folded so far).
+    TimedOut,
+    /// Refused at submission: the pending queue was at capacity.
+    Rejected,
+}
+
+/// Everything the server reports about one request. Every submitted request
+/// produces exactly one outcome — completed, timed out or rejected, never
+/// silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The caller's request id.
+    pub id: u64,
+    /// How the request terminated.
+    pub status: CompletionStatus,
+    /// Predicted class; `None` when the request never ran a timestep.
+    pub prediction: Option<usize>,
+    /// Timesteps actually executed (0 when never admitted).
+    pub timesteps_used: usize,
+    /// Whether the exit policy fired before the full window.
+    pub exited_early: bool,
+    /// Policy confidence score at each executed timestep.
+    pub scores: Vec<f32>,
+    /// Logits accumulated (summed, not averaged) over the executed
+    /// timesteps — bitwise comparable to
+    /// [`dtsnn_core::TimestepTrace::accumulated_logits`].
+    pub accumulated_logits: Vec<f32>,
+    /// Arrival time on the server clock.
+    pub arrival_nanos: u64,
+    /// Termination time on the server clock.
+    pub finish_nanos: u64,
+}
+
+impl RequestOutcome {
+    /// Queueing + service latency on the server clock.
+    pub fn latency_nanos(&self) -> u64 {
+        self.finish_nanos.saturating_sub(self.arrival_nanos)
+    }
+}
+
+/// Virtual service-time model: what one engine step costs on the simulated
+/// clock. Under a [`crate::RealClock`] the model is ignored (real work takes
+/// real time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Fixed per-step cost (dispatch, kernel launch) in nanoseconds.
+    pub step_fixed_nanos: u64,
+    /// Additional cost per in-flight batch row in nanoseconds.
+    pub step_per_row_nanos: u64,
+}
+
+impl ServiceModel {
+    /// Cost of one timestep at the given batch width.
+    pub fn step_cost(&self, width: usize) -> u64 {
+        self.step_fixed_nanos + self.step_per_row_nanos * width as u64
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Inference window `T` (every request exits by this timestep).
+    pub max_timesteps: usize,
+    /// Maximum concurrent in-flight rows (the batch width ceiling).
+    pub slots: usize,
+    /// Pending-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// The dynamic-θ controller ([`ThetaController::fixed`] for a fixed θ).
+    pub theta: ThetaController,
+    /// Simulated service cost per engine step.
+    pub service: ServiceModel,
+    /// Default latency budget for requests that do not carry one.
+    pub default_deadline_nanos: Option<u64>,
+    /// Record a [`StepRecord`] per engine step (scheduling decisions for
+    /// the determinism harness).
+    pub record_schedule: bool,
+}
+
+/// One engine step's scheduling decisions, recorded when
+/// [`ServerConfig::record_schedule`] is set. The determinism suite compares
+/// these across runs and thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Clock reading when the step started (before service time).
+    pub start_nanos: u64,
+    /// θ chosen by the controller for this step.
+    pub theta: f32,
+    /// Request ids of the batch rows forwarded this step, in row order.
+    pub rows: Vec<u64>,
+    /// Ids admitted into the window at the start of this step.
+    pub admitted: Vec<u64>,
+    /// Ids retired (completed or timed out) at the end of this step.
+    pub retired: Vec<u64>,
+}
+
+/// Lifetime counters of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests offered via `submit`.
+    pub submitted: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests that completed within deadline.
+    pub completed: u64,
+    /// Requests that terminated past their deadline (queued or in-flight).
+    pub timed_out: u64,
+    /// Requests admitted into an inference window.
+    pub admitted: u64,
+    /// Admissions spliced into an *open* window (carried state padded via
+    /// [`Snn::admit_batch_rows`]) rather than starting a fresh one.
+    pub spliced_mid_window: u64,
+    /// Engine steps executed (timesteps forwarded).
+    pub steps: u64,
+    /// Widest batch forwarded.
+    pub peak_width: u64,
+}
+
+struct Pending {
+    id: u64,
+    frames: Vec<Tensor>,
+    arrival: u64,
+    deadline: Option<u64>,
+}
+
+struct InFlight {
+    id: u64,
+    frames: Vec<Tensor>,
+    arrival: u64,
+    deadline: Option<u64>,
+    /// Timesteps this row has executed (its private counter — rows in one
+    /// window generally sit at different `t`).
+    t: usize,
+    /// The Eq. 5 numerator: logits summed over this row's timesteps.
+    acc: Vec<f32>,
+    scores: Vec<f32>,
+}
+
+/// The continuous-batching inference server.
+///
+/// One engine step forwards every in-flight row a single timestep, folds
+/// each row's logits into its private accumulator exactly like the
+/// sequential runner (bitwise — see the crate docs), scores the exit
+/// policy per row at that row's own `t`, retires exited/expired rows via
+/// [`Snn::compact_batch`] and admits queued requests into the vacated
+/// slots via [`Snn::admit_batch_rows`].
+pub struct Server<C: Clock> {
+    net: Snn,
+    config: ServerConfig,
+    clock: C,
+    pending: VecDeque<Pending>,
+    in_flight: Vec<InFlight>,
+    outcomes: Vec<RequestOutcome>,
+    schedule: Vec<StepRecord>,
+    stats: ServerStats,
+    /// Batch-1 frame dims fixed by the first accepted request.
+    frame_dims: Option<Vec<usize>>,
+}
+
+impl<C: Clock> Server<C> {
+    /// Builds a server around a network, a configuration and a clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero window, zero slots
+    /// or zero queue capacity.
+    pub fn new(net: Snn, config: ServerConfig, clock: C) -> Result<Self> {
+        if config.max_timesteps == 0 {
+            return Err(ServeError::InvalidConfig("max_timesteps must be nonzero".into()));
+        }
+        if config.slots == 0 {
+            return Err(ServeError::InvalidConfig("slots must be nonzero".into()));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig("queue_capacity must be nonzero".into()));
+        }
+        Ok(Server {
+            net,
+            config,
+            clock,
+            pending: VecDeque::new(),
+            in_flight: Vec::new(),
+            outcomes: Vec::new(),
+            schedule: Vec::new(),
+            stats: ServerStats::default(),
+            frame_dims: None,
+        })
+    }
+
+    /// The server's clock (clone a [`crate::SimClock`] handle before
+    /// construction to steer virtual time from outside).
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Current clock reading.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Queued (not yet admitted) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// In-flight batch rows.
+    pub fn width(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// θ the controller would use for the next step at the current queue
+    /// depth.
+    pub fn current_theta(&self) -> f32 {
+        self.config.theta.theta_for(self.pending.len())
+    }
+
+    /// Drains the finished-request outcomes accumulated so far, in
+    /// termination order.
+    pub fn take_outcomes(&mut self) -> Vec<RequestOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Drains the per-step scheduling records (empty unless
+    /// [`ServerConfig::record_schedule`] is set).
+    pub fn take_schedule(&mut self) -> Vec<StepRecord> {
+        std::mem::take(&mut self.schedule)
+    }
+
+    /// Offers a request; it is stamped with the current clock reading.
+    ///
+    /// Returns `true` if queued, `false` if refused by admission control
+    /// (the refusal is recorded as a [`CompletionStatus::Rejected`]
+    /// outcome).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for malformed frames: empty, a
+    /// count other than 1 or `max_timesteps`, a shape disagreeing with the
+    /// first accepted request, or a batch axis wider than one.
+    pub fn submit(&mut self, request: Request) -> Result<bool> {
+        let arrival = self.clock.now();
+        self.stats.submitted += 1;
+        let frames = self.normalize_frames(&request)?;
+        if self.pending.len() >= self.config.queue_capacity {
+            self.stats.rejected += 1;
+            self.outcomes.push(RequestOutcome {
+                id: request.id,
+                status: CompletionStatus::Rejected,
+                prediction: None,
+                timesteps_used: 0,
+                exited_early: false,
+                scores: Vec::new(),
+                accumulated_logits: Vec::new(),
+                arrival_nanos: arrival,
+                finish_nanos: arrival,
+            });
+            return Ok(false);
+        }
+        let deadline = request
+            .deadline_nanos
+            .or(self.config.default_deadline_nanos)
+            .map(|budget| arrival.saturating_add(budget));
+        self.pending.push_back(Pending { id: request.id, frames, arrival, deadline });
+        Ok(true)
+    }
+
+    /// Reshapes and validates a request's frames into the server's fixed
+    /// batch-1 shape.
+    fn normalize_frames(&mut self, request: &Request) -> Result<Vec<Tensor>> {
+        if request.frames.is_empty() {
+            return Err(ServeError::BadRequest(format!("request {}: no frames", request.id)));
+        }
+        if request.frames.len() != 1 && request.frames.len() != self.config.max_timesteps {
+            return Err(ServeError::BadRequest(format!(
+                "request {}: expected 1 or {} frames, got {}",
+                request.id,
+                self.config.max_timesteps,
+                request.frames.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(request.frames.len());
+        for frame in &request.frames {
+            let batched = if frame.dims().len() == 4 {
+                frame.clone()
+            } else {
+                let mut dims = vec![1];
+                dims.extend_from_slice(frame.dims());
+                frame.reshape(&dims)?
+            };
+            if batched.dims()[0] != 1 {
+                return Err(ServeError::BadRequest(format!(
+                    "request {}: frames must be batch-1, got dims {:?}",
+                    request.id,
+                    frame.dims()
+                )));
+            }
+            match &self.frame_dims {
+                Some(dims) if dims != batched.dims() => {
+                    return Err(ServeError::BadRequest(format!(
+                        "request {}: frame dims {:?} disagree with the server's {:?}",
+                        request.id,
+                        batched.dims(),
+                        dims
+                    )));
+                }
+                Some(_) => {}
+                None => self.frame_dims = Some(batched.dims().to_vec()),
+            }
+            out.push(batched);
+        }
+        Ok(out)
+    }
+
+    /// Runs one engine step: expire queued requests past their deadline,
+    /// admit queued requests into free slots (splicing into the open window
+    /// when one is running), forward every in-flight row one timestep,
+    /// account the service cost on the clock, fold and score each row, and
+    /// retire exited or expired rows.
+    ///
+    /// Returns `false` — without touching the clock — when there is
+    /// nothing to do (no in-flight rows and nothing admissible).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network/tensor failures.
+    pub fn step(&mut self) -> Result<bool> {
+        let start = self.clock.now();
+        self.expire_pending(start);
+
+        // admission: fill free slots FIFO; an open window gets padded rows
+        let mut admitted: Vec<u64> = Vec::new();
+        let carried = !self.in_flight.is_empty();
+        while self.in_flight.len() < self.config.slots {
+            let Some(p) = self.pending.pop_front() else { break };
+            admitted.push(p.id);
+            self.in_flight.push(InFlight {
+                id: p.id,
+                frames: p.frames,
+                arrival: p.arrival,
+                deadline: p.deadline,
+                t: 0,
+                acc: Vec::new(),
+                scores: Vec::new(),
+            });
+        }
+        if !admitted.is_empty() {
+            if carried {
+                // splice into the open window: pad every layer's carried
+                // batch state with fresh zero rows (bitwise-neutral — see
+                // the crate docs)
+                self.net.admit_batch_rows(admitted.len())?;
+                self.stats.spliced_mid_window += admitted.len() as u64;
+            } else {
+                // fresh window
+                self.net.reset_state();
+            }
+            self.stats.admitted += admitted.len() as u64;
+        }
+        if self.in_flight.is_empty() {
+            return Ok(false);
+        }
+
+        // θ for this step comes from the controller at the *post-admission*
+        // queue depth, and applies uniformly to every row scored this step
+        let theta = self.config.theta.theta_for(self.pending.len());
+        let policy = ExitPolicy::entropy(theta).map_err(ServeError::from)?;
+        let width = self.in_flight.len();
+        self.stats.peak_width = self.stats.peak_width.max(width as u64);
+
+        // forward one timestep: row r's frame at its own (0-based) t
+        let views: Vec<&Tensor> = self
+            .in_flight
+            .iter()
+            .map(|r| if r.frames.len() == 1 { &r.frames[0] } else { &r.frames[r.t] })
+            .collect();
+        let input = Tensor::concat_axis0(&views)?;
+        let logits = self.net.forward_timestep(&input, Mode::Eval)?;
+        self.clock.advance(self.config.service.step_cost(width));
+        let now = self.clock.now();
+        self.stats.steps += 1;
+
+        // per-row fold and exit decision — the sequential runner's
+        // `axpy(1.0, ·)` / `scale(1/t)` / softmax / score chain, bitwise
+        let classes = logits.dims()[1];
+        let t_max = self.config.max_timesteps;
+        let mut keep: Vec<usize> = Vec::with_capacity(width);
+        let mut retired: Vec<u64> = Vec::new();
+        for row in 0..width {
+            let r = &mut self.in_flight[row];
+            r.t += 1;
+            let l_row = &logits.data()[row * classes..(row + 1) * classes];
+            if r.acc.is_empty() {
+                r.acc.extend_from_slice(l_row);
+            } else {
+                for (a, &l) in r.acc.iter_mut().zip(l_row) {
+                    *a += l;
+                }
+            }
+            let inv_t = 1.0 / r.t as f32;
+            let f_t = Tensor::from_vec(r.acc.iter().map(|&a| a * inv_t).collect(), &[1, classes])?;
+            let probs = softmax_rows(&f_t)?;
+            r.scores.push(policy.score(probs.data()));
+            let policy_fired = policy.should_exit(probs.data());
+            let exit = policy_fired || r.t == t_max;
+            let late = r.deadline.is_some_and(|d| now > d);
+            if exit || late {
+                // exit (early or full window) or deadline blown mid-window;
+                // either way the row leaves with a prediction from the
+                // logits folded so far
+                let prediction = Some(probs.row(0)?.argmax()?);
+                let r = &self.in_flight[row];
+                retired.push(r.id);
+                let status =
+                    if late { CompletionStatus::TimedOut } else { CompletionStatus::Completed };
+                match status {
+                    CompletionStatus::TimedOut => self.stats.timed_out += 1,
+                    _ => self.stats.completed += 1,
+                }
+                self.outcomes.push(RequestOutcome {
+                    id: r.id,
+                    status,
+                    prediction,
+                    timesteps_used: r.t,
+                    exited_early: policy_fired && r.t < t_max,
+                    scores: r.scores.clone(),
+                    accumulated_logits: r.acc.clone(),
+                    arrival_nanos: r.arrival,
+                    finish_nanos: now,
+                });
+            } else {
+                keep.push(row);
+            }
+        }
+        self.net.recycle(logits);
+
+        // retire: physically gather the survivors' carried layer state
+        if keep.len() < width {
+            if keep.is_empty() {
+                self.net.reset_state();
+                self.in_flight.clear();
+            } else {
+                self.net.compact_batch(&keep)?;
+                let mut idx = 0usize;
+                let keep_ref = &keep;
+                self.in_flight.retain(|_| {
+                    let k = keep_ref.binary_search(&idx).is_ok();
+                    idx += 1;
+                    k
+                });
+            }
+        }
+
+        if self.config.record_schedule {
+            // reconstruct the forwarded row order: kept and retired ids
+            // interleave according to the keep list
+            let mut rows = Vec::with_capacity(width);
+            let mut kept = self.in_flight.iter().map(|r| r.id);
+            let mut gone = retired.iter().copied();
+            let mut keep_it = keep.iter().copied().peekable();
+            for row in 0..width {
+                if keep_it.peek() == Some(&row) {
+                    keep_it.next();
+                    rows.push(kept.next().expect("kept row"));
+                } else {
+                    rows.push(gone.next().expect("retired row"));
+                }
+            }
+            self.schedule.push(StepRecord { start_nanos: start, theta, rows, admitted, retired });
+        }
+        Ok(true)
+    }
+
+    /// Expires queued requests whose deadline has passed; each is reported
+    /// as timed out (never silently dropped).
+    fn expire_pending(&mut self, now: u64) {
+        let outcomes = &mut self.outcomes;
+        let stats = &mut self.stats;
+        self.pending.retain(|p| {
+            let expired = p.deadline.is_some_and(|d| now > d);
+            if expired {
+                stats.timed_out += 1;
+                outcomes.push(RequestOutcome {
+                    id: p.id,
+                    status: CompletionStatus::TimedOut,
+                    prediction: None,
+                    timesteps_used: 0,
+                    exited_early: false,
+                    scores: Vec::new(),
+                    accumulated_logits: Vec::new(),
+                    arrival_nanos: p.arrival,
+                    finish_nanos: now,
+                });
+            }
+            !expired
+        });
+    }
+
+    /// Steps until no in-flight or queued work remains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Server::step`] failures.
+    pub fn run_until_idle(&mut self) -> Result<()> {
+        while self.step()? {}
+        Ok(())
+    }
+}
+
+/// A request paired with its arrival time on the server clock.
+#[derive(Debug, Clone)]
+pub struct TracedRequest {
+    /// Arrival time in clock nanoseconds.
+    pub at_nanos: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// Replays a seeded arrival trace through a server deterministically: the
+/// engine steps until virtual time reaches each arrival (jumping over idle
+/// gaps), submits it, and finally drains the window. With a
+/// [`crate::SimClock`] every scheduling decision is a pure function of the
+/// trace.
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadRequest`] if the trace is not sorted by
+/// `at_nanos`; propagates engine failures.
+pub fn replay_trace<C: Clock>(server: &mut Server<C>, trace: &[TracedRequest]) -> Result<()> {
+    if trace.windows(2).any(|w| w[0].at_nanos > w[1].at_nanos) {
+        return Err(ServeError::BadRequest("trace must be sorted by arrival time".into()));
+    }
+    for tr in trace {
+        while server.now() < tr.at_nanos {
+            if !server.step()? {
+                // idle: jump straight to the next arrival
+                server.clock.wait_until(tr.at_nanos);
+            }
+        }
+        server.submit(tr.request.clone())?;
+    }
+    server.run_until_idle()
+}
+
+/// Serves live traffic from an MPSC queue on the current thread: drains the
+/// channel into the server, steps while there is work, and parks on the
+/// channel when idle. Returns once the channel has disconnected and all
+/// accepted work has terminated.
+///
+/// This is the real-clock reactor — producers hold the `Sender` side and
+/// submit from any thread; inference itself still parallelizes inside
+/// `forward_timestep` via `dtsnn_tensor::parallel` (`DTSNN_THREADS`).
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn run_channel<C: Clock>(server: &mut Server<C>, requests: &Receiver<Request>) -> Result<()> {
+    let mut disconnected = false;
+    loop {
+        // drain everything already queued on the channel
+        loop {
+            match requests.try_recv() {
+                Ok(r) => {
+                    server.submit(r)?;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if server.step()? {
+            continue;
+        }
+        // idle: either wait for traffic or finish
+        if disconnected {
+            return Ok(());
+        }
+        match requests.recv_timeout(Duration::from_millis(1)) {
+            Ok(r) => {
+                server.submit(r)?;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+    }
+}

@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Errors produced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A server or controller configuration value was outside its domain.
+    InvalidConfig(String),
+    /// A submitted request was malformed (frame count/shape).
+    BadRequest(String),
+    /// The inference engine underneath failed.
+    Core(dtsnn_core::CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Core(e) => write!(f, "inference failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dtsnn_core::CoreError> for ServeError {
+    fn from(e: dtsnn_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<dtsnn_snn::SnnError> for ServeError {
+    fn from(e: dtsnn_snn::SnnError) -> Self {
+        ServeError::Core(dtsnn_core::CoreError::from(e))
+    }
+}
+
+impl From<dtsnn_tensor::TensorError> for ServeError {
+    fn from(e: dtsnn_tensor::TensorError) -> Self {
+        ServeError::Core(dtsnn_core::CoreError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::from(dtsnn_core::CoreError::BadInput("x".into()));
+        assert!(e.to_string().contains("inference failure"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::BadRequest("y".into())).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,270 @@
+//! Property suite for admission control and the dynamic-θ controller:
+//! θ stays inside its configured band and responds monotonically to queue
+//! pressure under adversarial seeded load, and no admitted request is ever
+//! silently dropped — every submission terminates as completed, timed out
+//! or rejected.
+
+use dtsnn_serve::{
+    replay_trace, CompletionStatus, Request, Server, ServerConfig, ServiceModel, SimClock,
+    ThetaController, TracedRequest,
+};
+use dtsnn_snn::{Flatten, Layer, LifConfig, LifNeuron, Linear, Snn};
+use dtsnn_tensor::{Tensor, TensorRng};
+use std::collections::HashMap;
+
+fn tiny_net(seed: u64) -> Snn {
+    let mut rng = TensorRng::seed_from(seed);
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(4, 8, &mut rng)),
+        Box::new(LifNeuron::new(LifConfig::default())),
+        Box::new(Linear::new(8, 3, &mut rng)),
+    ];
+    Snn::from_layers(layers)
+}
+
+fn frame(rng: &mut TensorRng) -> Tensor {
+    Tensor::randn(&[1, 2, 2], 0.5, 0.5, rng)
+}
+
+/// Adversarial seeded arrival pattern: bursts of random size at random
+/// gaps, including back-to-back zero-gap clumps.
+fn adversarial_trace(n: usize, seed: u64, deadline: Option<u64>) -> Vec<TracedRequest> {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut at = 0u64;
+    let mut trace = Vec::with_capacity(n);
+    let mut id = 0u64;
+    while trace.len() < n {
+        let burst = 1 + rng.below(5);
+        for _ in 0..burst.min(n - trace.len()) {
+            trace.push(TracedRequest {
+                at_nanos: at,
+                request: Request { id, frames: vec![frame(&mut rng)], deadline_nanos: deadline },
+            });
+            id += 1;
+        }
+        at += rng.below(20_000) as u64;
+    }
+    trace
+}
+
+#[test]
+fn theta_stays_in_band_and_is_monotone_in_queue_depth() {
+    let mut rng = TensorRng::seed_from(0xFEED);
+    for _ in 0..200 {
+        let lo = rng.uniform(0.05, 0.9);
+        let hi = rng.uniform(lo, 1.0).min(1.0);
+        let half = rng.uniform(0.5, 64.0);
+        let c = ThetaController::new(lo, hi, half).unwrap();
+        let mut prev = f32::NEG_INFINITY;
+        for depth in [0usize, 1, 2, 3, 5, 8, 13, 21, 100, 10_000, usize::MAX / 2] {
+            let theta = c.theta_for(depth);
+            assert!(
+                (c.theta_min()..=c.theta_max()).contains(&theta),
+                "theta {theta} escaped [{}, {}] at depth {depth}",
+                c.theta_min(),
+                c.theta_max()
+            );
+            assert!(theta >= prev, "theta must be monotone in depth: {theta} < {prev}");
+            prev = theta;
+        }
+    }
+}
+
+#[test]
+fn the_server_reports_thetas_only_inside_the_configured_band() {
+    let controller = ThetaController::new(0.6, 0.99, 2.0).unwrap();
+    let config = ServerConfig {
+        max_timesteps: 6,
+        slots: 1, // tiny capacity → deep queues → the controller's top end
+        queue_capacity: 32,
+        theta: controller,
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 100 },
+        default_deadline_nanos: None,
+        record_schedule: true,
+    };
+    let mut server = Server::new(tiny_net(5), config, SimClock::new()).unwrap();
+    replay_trace(&mut server, &adversarial_trace(40, 0xBAD_5EED, None)).unwrap();
+    let schedule = server.take_schedule();
+    assert!(!schedule.is_empty());
+    let (mut lo_seen, mut hi_seen) = (f32::INFINITY, f32::NEG_INFINITY);
+    for s in &schedule {
+        assert!(
+            (0.6..=0.99).contains(&s.theta),
+            "recorded theta {} escaped the band",
+            s.theta
+        );
+        lo_seen = lo_seen.min(s.theta);
+        hi_seen = hi_seen.max(s.theta);
+    }
+    // the adversarial burst pattern must actually sweep the controller:
+    // idle steps at the floor, saturated steps well above it
+    assert!(
+        hi_seen - lo_seen > 0.05,
+        "load must sweep theta through the band, saw [{lo_seen}, {hi_seen}]"
+    );
+}
+
+#[test]
+fn no_request_is_ever_silently_dropped() {
+    // overload on purpose: 1 slot, tiny queue, tight deadlines
+    let config = ServerConfig {
+        max_timesteps: 6,
+        slots: 1,
+        queue_capacity: 4,
+        theta: ThetaController::fixed(0.9).unwrap(),
+        service: ServiceModel { step_fixed_nanos: 2000, step_per_row_nanos: 500 },
+        default_deadline_nanos: Some(25_000),
+        record_schedule: false,
+    };
+    let trace = adversarial_trace(60, 0xD00D, None);
+    let mut server = Server::new(tiny_net(5), config, SimClock::new()).unwrap();
+    replay_trace(&mut server, &trace).unwrap();
+    let outcomes = server.take_outcomes();
+    // every submitted id terminates exactly once
+    assert_eq!(outcomes.len(), trace.len(), "every request needs exactly one outcome");
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for o in &outcomes {
+        *seen.entry(o.id).or_default() += 1;
+    }
+    for tr in &trace {
+        assert_eq!(
+            seen.get(&tr.request.id),
+            Some(&1),
+            "request {} must terminate exactly once",
+            tr.request.id
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, trace.len() as u64);
+    assert_eq!(
+        stats.completed + stats.timed_out + stats.rejected,
+        stats.submitted,
+        "terminations must account for every submission: {stats:?}"
+    );
+    // the overload must actually trigger all three terminal states
+    assert!(stats.rejected > 0, "queue of 4 under a 60-request burst must reject: {stats:?}");
+    assert!(stats.timed_out > 0, "25 µs deadlines under overload must time out: {stats:?}");
+    assert!(stats.completed > 0, "some requests must still complete: {stats:?}");
+    // deadline accounting: completed requests finished within budget,
+    // timed-out ones are past it (queued expiries report at expiry time)
+    for o in &outcomes {
+        match o.status {
+            CompletionStatus::Completed => assert!(
+                o.latency_nanos() <= 25_000,
+                "request {} completed past its deadline ({} ns)",
+                o.id,
+                o.latency_nanos()
+            ),
+            CompletionStatus::TimedOut => assert!(
+                o.latency_nanos() > 25_000,
+                "request {} timed out within budget ({} ns)",
+                o.id,
+                o.latency_nanos()
+            ),
+            CompletionStatus::Rejected => {
+                assert_eq!(o.timesteps_used, 0);
+                assert_eq!(o.prediction, None);
+            }
+        }
+    }
+}
+
+#[test]
+fn queued_requests_past_their_deadline_expire_without_running() {
+    let config = ServerConfig {
+        max_timesteps: 6,
+        slots: 1,
+        queue_capacity: 8,
+        // θ low enough that the entropy policy never fires: the first
+        // request holds the single slot for the full window
+        theta: ThetaController::fixed(0.05).unwrap(),
+        service: ServiceModel { step_fixed_nanos: 10_000, step_per_row_nanos: 0 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    };
+    let mut rng = TensorRng::seed_from(11);
+    let mut server = Server::new(tiny_net(5), config, SimClock::new()).unwrap();
+    // first request occupies the single slot for up to 60 µs; the second's
+    // 5 µs budget expires while it waits in the queue
+    assert!(server
+        .submit(Request { id: 0, frames: vec![frame(&mut rng)], deadline_nanos: None })
+        .unwrap());
+    server.step().unwrap();
+    assert!(server
+        .submit(Request { id: 1, frames: vec![frame(&mut rng)], deadline_nanos: Some(5_000) })
+        .unwrap());
+    server.run_until_idle().unwrap();
+    let outcomes = server.take_outcomes();
+    let expired = outcomes.iter().find(|o| o.id == 1).unwrap();
+    assert_eq!(expired.status, CompletionStatus::TimedOut);
+    assert_eq!(expired.timesteps_used, 0, "an expired queued request must never run");
+    assert_eq!(expired.prediction, None);
+    let served = outcomes.iter().find(|o| o.id == 0).unwrap();
+    assert_eq!(served.status, CompletionStatus::Completed);
+}
+
+#[test]
+fn admission_control_rejects_only_past_queue_capacity() {
+    let config = ServerConfig {
+        max_timesteps: 6,
+        slots: 2,
+        queue_capacity: 3,
+        theta: ThetaController::fixed(0.9).unwrap(),
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 0 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    };
+    let mut rng = TensorRng::seed_from(13);
+    let mut server = Server::new(tiny_net(5), config, SimClock::new()).unwrap();
+    // without stepping, the queue alone bounds admissions
+    for id in 0..5u64 {
+        let accepted = server
+            .submit(Request { id, frames: vec![frame(&mut rng)], deadline_nanos: None })
+            .unwrap();
+        assert_eq!(accepted, id < 3, "queue of 3 must refuse the 4th submission (id {id})");
+    }
+    assert_eq!(server.stats().rejected, 2);
+    let rejected: Vec<u64> = server
+        .take_outcomes()
+        .iter()
+        .filter(|o| o.status == CompletionStatus::Rejected)
+        .map(|o| o.id)
+        .collect();
+    assert_eq!(rejected, vec![3, 4]);
+    // the queued three still complete
+    server.run_until_idle().unwrap();
+    let outcomes = server.take_outcomes();
+    assert_eq!(outcomes.len(), 3);
+    assert!(outcomes.iter().all(|o| o.status == CompletionStatus::Completed));
+}
+
+#[test]
+fn malformed_requests_are_refused_up_front() {
+    let config = ServerConfig {
+        max_timesteps: 6,
+        slots: 2,
+        queue_capacity: 8,
+        theta: ThetaController::fixed(0.9).unwrap(),
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 0 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    };
+    let mut rng = TensorRng::seed_from(17);
+    let mut server = Server::new(tiny_net(5), config, SimClock::new()).unwrap();
+    // no frames
+    assert!(server.submit(Request { id: 0, frames: vec![], deadline_nanos: None }).is_err());
+    // frame count neither 1 nor max_timesteps
+    let frames: Vec<Tensor> = (0..3).map(|_| frame(&mut rng)).collect();
+    assert!(server.submit(Request { id: 1, frames, deadline_nanos: None }).is_err());
+    // first accepted request fixes the shape; a disagreeing one is refused
+    assert!(server
+        .submit(Request { id: 2, frames: vec![frame(&mut rng)], deadline_nanos: None })
+        .unwrap());
+    let wide = Tensor::randn(&[1, 4, 4], 0.5, 0.5, &mut rng);
+    assert!(server.submit(Request { id: 3, frames: vec![wide], deadline_nanos: None }).is_err());
+    // a batch axis wider than one is refused
+    let batched = Tensor::randn(&[2, 1, 2, 2], 0.5, 0.5, &mut rng);
+    assert!(server.submit(Request { id: 4, frames: vec![batched], deadline_nanos: None }).is_err());
+    server.run_until_idle().unwrap();
+}

@@ -147,6 +147,46 @@ pub trait Layer: Send + Sync {
         Ok(())
     }
 
+    /// Workspace-backed variant of [`Layer::select_batch_rows`]: layers
+    /// with per-row state gather the survivors into an arena buffer and
+    /// park the retired one, so mid-window compaction allocates nothing
+    /// once the loop is warmed (the serving engine compacts and re-admits
+    /// rows every window, where the plain path's drop-and-reallocate would
+    /// bleed buffers out of the arena). The resulting state must be bitwise
+    /// identical to [`Layer::select_batch_rows`]. The default delegates;
+    /// container layers must forward the call to their children.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range row indices.
+    fn select_batch_rows_ws(&mut self, rows: &[usize], ws: &mut Workspace) -> Result<()> {
+        let _ = ws;
+        self.select_batch_rows(rows)
+    }
+
+    /// Appends `extra` fresh batch rows to all carried batch state — the
+    /// layer-level half of [`crate::Snn::admit_batch_rows`], the row
+    /// *insertion* dual of [`Layer::select_batch_rows`]. New rows start from
+    /// the same state a freshly reset layer would give them (zero membrane):
+    /// a zero row evolves `u = 0·τ + x` on its first timestep, which can
+    /// differ from a fresh `None` membrane's `u = x` only in the sign of
+    /// zero, a distinction the strict `u > V_th` spike comparison (and the
+    /// smooth step, a function of `u − V_th`) cannot observe — so a spliced
+    /// row's spikes, and everything downstream of them, are bitwise
+    /// identical to running that row alone. Existing rows are untouched.
+    ///
+    /// Layers without per-row state keep the default no-op; container layers
+    /// must forward the call to their children. Like compaction this is an
+    /// [`Mode::Eval`] operation: training caches are out of scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the carried state has no batch axis.
+    fn pad_batch_rows(&mut self, extra: usize, ws: &mut Workspace) -> Result<()> {
+        let _ = (extra, ws);
+        Ok(())
+    }
+
     /// Freezes any input-dependent normalization statistics so repeated
     /// forward passes become pure functions of the parameters (the
     /// conformance gradient checker needs this: batch-norm EMA updates

@@ -952,6 +952,26 @@ impl Layer for ResidualBlock {
         self.join.select_batch_rows(rows)
     }
 
+    fn select_batch_rows_ws(&mut self, rows: &[usize], ws: &mut Workspace) -> Result<()> {
+        for l in &mut self.main {
+            l.select_batch_rows_ws(rows, ws)?;
+        }
+        for l in &mut self.shortcut {
+            l.select_batch_rows_ws(rows, ws)?;
+        }
+        self.join.select_batch_rows_ws(rows, ws)
+    }
+
+    fn pad_batch_rows(&mut self, extra: usize, ws: &mut Workspace) -> Result<()> {
+        for l in &mut self.main {
+            l.pad_batch_rows(extra, ws)?;
+        }
+        for l in &mut self.shortcut {
+            l.pad_batch_rows(extra, ws)?;
+        }
+        self.join.pad_batch_rows(extra, ws)
+    }
+
     fn backend_choices(&self, name: &str, out: &mut Vec<(String, &'static str)>) {
         for (i, l) in self.main.iter().enumerate() {
             l.backend_choices(&format!("{name}.main{i}"), out);

@@ -137,6 +137,24 @@ impl LifNeuron {
     pub fn membrane(&self) -> Option<&Tensor> {
         self.membrane.as_ref()
     }
+
+    /// Restricts `last_row_densities` to the given rows, in order — the
+    /// shared tail of both `select_batch_rows` variants.
+    fn keep_row_densities(&mut self, rows: &[usize]) -> Result<()> {
+        if !self.last_row_densities.is_empty() {
+            let mut kept = Vec::with_capacity(rows.len());
+            for &r in rows {
+                kept.push(*self.last_row_densities.get(r).ok_or_else(|| {
+                    SnnError::BadInput(format!(
+                        "select_batch_rows index {r} out of range ({} rows)",
+                        self.last_row_densities.len()
+                    ))
+                })?);
+            }
+            self.last_row_densities = kept;
+        }
+        Ok(())
+    }
 }
 
 impl Layer for LifNeuron {
@@ -336,23 +354,64 @@ impl Layer for LifNeuron {
         Some(&self.last_row_densities)
     }
 
+    fn pad_batch_rows(&mut self, extra: usize, ws: &mut Workspace) -> Result<()> {
+        if extra == 0 {
+            return Ok(());
+        }
+        if let Some(u) = self.membrane.take() {
+            let mut dims = u.dims().to_vec();
+            if dims.len() < 2 {
+                self.membrane = Some(u);
+                return Err(SnnError::BadInput(format!(
+                    "pad_batch_rows needs a batched membrane, got dims {dims:?}"
+                )));
+            }
+            let row_len = u.len() / dims[0];
+            // workspace buffers come back zero-filled, so the appended rows
+            // are exactly the zero membrane a reset layer would carry
+            let mut buf = ws.take(u.len() + extra * row_len);
+            buf[..u.len()].copy_from_slice(u.data());
+            ws.recycle_tensor(u);
+            dims[0] += extra;
+            self.membrane = Some(Tensor::from_vec(buf, &dims).map_err(SnnError::from)?);
+        }
+        // fresh rows have emitted nothing yet; keep the densities aligned
+        // with the widened batch so a following select_batch_rows stays legal
+        if !self.last_row_densities.is_empty() {
+            self.last_row_densities.extend(std::iter::repeat_n(0.0, extra));
+        }
+        Ok(())
+    }
+
     fn select_batch_rows(&mut self, rows: &[usize]) -> Result<()> {
         if let Some(u) = &self.membrane {
             self.membrane = Some(u.select_rows(rows).map_err(SnnError::from)?);
         }
-        if !self.last_row_densities.is_empty() {
-            let mut kept = Vec::with_capacity(rows.len());
-            for &r in rows {
-                kept.push(*self.last_row_densities.get(r).ok_or_else(|| {
-                    SnnError::BadInput(format!(
-                        "select_batch_rows index {r} out of range ({} rows)",
-                        self.last_row_densities.len()
-                    ))
-                })?);
+        self.keep_row_densities(rows)
+    }
+
+    fn select_batch_rows_ws(&mut self, rows: &[usize], ws: &mut Workspace) -> Result<()> {
+        if let Some(u) = self.membrane.take() {
+            let batch = u.dims()[0];
+            if let Some(&bad) = rows.iter().find(|&&r| r >= batch) {
+                self.membrane = Some(u);
+                return Err(SnnError::from(TensorError::InvalidArgument(format!(
+                    "select_rows index {bad} out of range ({batch} rows)"
+                ))));
             }
-            self.last_row_densities = kept;
+            let row_len = u.len() / batch;
+            // gather survivors into an arena buffer and park the old
+            // membrane: same copies as `select_rows`, zero net allocation
+            let mut buf = ws.take(rows.len() * row_len);
+            for (dst, &r) in buf.chunks_exact_mut(row_len).zip(rows) {
+                dst.copy_from_slice(&u.data()[r * row_len..(r + 1) * row_len]);
+            }
+            let mut dims = u.dims().to_vec();
+            dims[0] = rows.len();
+            ws.recycle_tensor(u);
+            self.membrane = Some(Tensor::from_vec(buf, &dims).map_err(SnnError::from)?);
         }
-        Ok(())
+        self.keep_row_densities(rows)
     }
 }
 
@@ -556,6 +615,47 @@ mod tests {
         assert_eq!(s.dims(), &[2, 1]);
         assert_eq!(lif.membrane().unwrap().data(), &[2.0, 0.75]);
         assert!(lif.select_batch_rows(&[5]).is_err());
+    }
+
+    #[test]
+    fn pad_batch_rows_appends_zero_membrane_rows() {
+        let mut ws = Workspace::new();
+        let mut lif = LifNeuron::new(LifConfig { tau: 0.5, v_th: 10.0, ..LifConfig::default() });
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
+        lif.forward(&x, Mode::Eval).unwrap();
+        lif.pad_batch_rows(2, &mut ws).unwrap();
+        assert_eq!(lif.membrane().unwrap().dims(), &[4, 1]);
+        assert_eq!(lif.membrane().unwrap().data(), &[1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(lif.last_spike_row_densities().map(|d| d.len()), Some(4));
+        // a padded row's first timestep equals a fresh layer's first timestep
+        let x2 = Tensor::from_vec(vec![0.5, 0.5, 0.7, 20.0], &[4, 1]).unwrap();
+        lif.forward(&x2, Mode::Eval).unwrap();
+        let mut fresh = LifNeuron::new(*lif.config());
+        fresh.forward(&Tensor::from_vec(vec![0.7, 20.0], &[2, 1]).unwrap(), Mode::Eval).unwrap();
+        assert_eq!(
+            &lif.membrane().unwrap().data()[2..],
+            fresh.membrane().unwrap().data(),
+            "padded rows must evolve exactly like a freshly reset layer"
+        );
+    }
+
+    #[test]
+    fn pad_batch_rows_on_fresh_layer_is_a_no_op() {
+        let mut ws = Workspace::new();
+        let mut lif = LifNeuron::new(LifConfig::default());
+        lif.pad_batch_rows(3, &mut ws).unwrap();
+        assert!(lif.membrane().is_none());
+        assert_eq!(lif.last_spike_row_densities(), Some([].as_slice()));
+    }
+
+    #[test]
+    fn pad_batch_rows_rejects_unbatched_membrane() {
+        let mut ws = Workspace::new();
+        let mut lif = LifNeuron::new(LifConfig::default());
+        lif.forward(&Tensor::full(&[3], 0.5), Mode::Eval).unwrap();
+        assert!(lif.pad_batch_rows(1, &mut ws).is_err());
+        // the membrane survives the failed pad
+        assert_eq!(lif.membrane().unwrap().dims(), &[3]);
     }
 
     #[test]

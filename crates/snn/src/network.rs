@@ -278,8 +278,33 @@ impl Snn {
     ///
     /// Propagates layer errors (e.g. an out-of-range row index).
     pub fn compact_batch(&mut self, rows: &[usize]) -> Result<()> {
+        let ws = &mut self.workspace;
         for node in &mut self.layers {
-            node.layer.select_batch_rows(rows)?;
+            // workspace-backed gather: the retired membrane buffers re-enter
+            // the arena, so compacting mid-window allocates nothing warmed
+            node.layer.select_batch_rows_ws(rows, ws)?;
+        }
+        Ok(())
+    }
+
+    /// Appends `extra` fresh rows to every layer's carried batch state (see
+    /// [`Layer::pad_batch_rows`]) — the row-insertion dual of
+    /// [`Snn::compact_batch`], and the hook the continuous-batching serving
+    /// engine in `dtsnn-serve` uses to splice newly admitted requests into
+    /// an open inference window: compaction retires exited rows, admission
+    /// pads the batch back out, and the spliced rows start from exactly the
+    /// state a fresh sequence would give them while the surviving rows'
+    /// membranes are untouched bitwise. Padding buffers come from the
+    /// network's workspace, so a warmed serving loop stays allocation-free
+    /// across width changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (e.g. carried state without a batch axis).
+    pub fn admit_batch_rows(&mut self, extra: usize) -> Result<()> {
+        let ws = &mut self.workspace;
+        for node in &mut self.layers {
+            node.layer.pad_batch_rows(extra, ws)?;
         }
         Ok(())
     }
@@ -470,6 +495,92 @@ mod tests {
             reference.forward_timestep(&x2.select_rows(&keep).unwrap(), Mode::Eval).unwrap();
 
         assert_eq!(out_compacted, out_reference);
+    }
+
+    #[test]
+    fn admit_batch_rows_matches_running_the_spliced_row_alone() {
+        // Forward a 2-row batch one timestep, splice in a third row, forward
+        // again — the spliced row's output must be bitwise identical to that
+        // sample's first solo timestep, and the carried rows must be bitwise
+        // identical to a continuation that never saw the splice.
+        let mut rng = TensorRng::seed_from(21);
+        let mut server = tiny_net(&mut rng);
+        let proto = server.clone();
+        let x1 = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let x2_old = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let fresh = Tensor::randn(&[1, 2, 2, 2], 0.0, 1.0, &mut rng);
+
+        server.reset_state();
+        server.forward_timestep(&x1, Mode::Eval).unwrap();
+        server.admit_batch_rows(1).unwrap();
+        let input = Tensor::concat_axis0(&[&x2_old, &fresh]).unwrap();
+        let out = server.forward_timestep(&input, Mode::Eval).unwrap();
+        assert_eq!(out.dims()[0], 3);
+        let classes = out.dims()[1];
+
+        let mut solo = proto.clone();
+        solo.reset_state();
+        let solo_out = solo.forward_timestep(&fresh, Mode::Eval).unwrap();
+        let spliced: Vec<u32> =
+            out.data()[2 * classes..].iter().map(|v| v.to_bits()).collect();
+        let solo_bits: Vec<u32> = solo_out.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(spliced, solo_bits, "spliced row must match a fresh solo run bitwise");
+
+        let mut carried = proto;
+        carried.reset_state();
+        carried.forward_timestep(&x1, Mode::Eval).unwrap();
+        let carried_out = carried.forward_timestep(&x2_old, Mode::Eval).unwrap();
+        let old: Vec<u32> = out.data()[..2 * classes].iter().map(|v| v.to_bits()).collect();
+        let old_ref: Vec<u32> = carried_out.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(old, old_ref, "carried rows must be bitwise untouched by the splice");
+    }
+
+    #[test]
+    fn admit_batch_rows_on_a_fresh_network_is_a_no_op() {
+        let mut rng = TensorRng::seed_from(23);
+        let mut net = tiny_net(&mut rng);
+        net.reset_state();
+        net.admit_batch_rows(2).unwrap();
+        // no carried state yet, so the next forward defines the batch width
+        let x = Tensor::randn(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let out = net.forward_timestep(&x, Mode::Eval).unwrap();
+        assert_eq!(out.dims(), &[3, 3]);
+    }
+
+    #[test]
+    fn dynamic_batch_width_stays_allocation_free_after_warmup() {
+        // The serving loop grows (admit) and shrinks (compact) the batch
+        // mid-window; once warmed at the maximum width, every narrower width
+        // must be served from the freelist — zero workspace misses.
+        let mut rng = TensorRng::seed_from(24);
+        let mut net = tiny_net(&mut rng);
+        let max_width = 4usize;
+        let full = Tensor::randn(&[max_width, 2, 2, 2], 0.0, 1.5, &mut rng);
+        net.reset_state();
+        for _ in 0..2 {
+            let out = net.forward_timestep(&full, Mode::Eval).unwrap();
+            net.recycle(out);
+        }
+        net.reset_state();
+        net.reset_workspace_stats();
+        // width trajectory 4 → 2 (compact) → 4 (admit) → 1 (compact), a
+        // window per width with the carried membrane reshaped in between
+        let out = net.forward_timestep(&full, Mode::Eval).unwrap();
+        net.recycle(out);
+        net.compact_batch(&[0, 2]).unwrap();
+        let two = full.select_rows(&[0, 2]).unwrap();
+        let out = net.forward_timestep(&two, Mode::Eval).unwrap();
+        net.recycle(out);
+        net.admit_batch_rows(2).unwrap();
+        let out = net.forward_timestep(&full, Mode::Eval).unwrap();
+        net.recycle(out);
+        net.compact_batch(&[1]).unwrap();
+        let one = full.select_rows(&[1]).unwrap();
+        let out = net.forward_timestep(&one, Mode::Eval).unwrap();
+        net.recycle(out);
+        let stats = net.workspace_stats();
+        assert!(stats.takes > 0);
+        assert_eq!(stats.misses, 0, "warmed dynamic-width loop must not allocate: {stats:?}");
     }
 
     #[test]

@@ -256,6 +256,55 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_batch_width_reuses_warmed_buffers_under_full_freelist() {
+        // The continuous-batching serving loop requests the same per-layer
+        // shapes at a row count that grows and shrinks every window. Once
+        // warmed at the maximum width, every narrower width must be served
+        // from the freelist (best-fit reuses a larger parked buffer), with
+        // the cap still enforced — this extends the eviction-pressure test
+        // to the serving engine's width trajectory.
+        let mut ws = Workspace::new();
+        let row = 32usize; // per-row elements of one fake layer activation
+        let max_width = 8usize;
+        // fill the freelist to its cap; the largest entries are the warmed
+        // max-width buffers the serving loop parked
+        for i in 1..=(MAX_FREE - 2) {
+            ws.recycle(Vec::with_capacity(i));
+        }
+        ws.recycle(Vec::with_capacity(row * max_width));
+        ws.recycle(Vec::with_capacity(row * max_width));
+        assert_eq!(ws.free.len(), MAX_FREE);
+        ws.reset_stats();
+
+        // width trajectory of a window: grow to max, shrink, grow again
+        for &width in &[max_width, 3, 1, 5, max_width, 2] {
+            let a = ws.take(row * width);
+            let b = ws.take(row * width);
+            assert_eq!(a.len(), row * width);
+            assert!(a.iter().all(|&v| v == 0.0), "reused buffers must be re-zeroed");
+            ws.recycle(a);
+            ws.recycle(b);
+            assert!(ws.free.len() <= MAX_FREE, "cap must hold across width changes");
+        }
+        assert_eq!(
+            ws.stats(),
+            WorkspaceStats { takes: 12, misses: 0 },
+            "every width at or below the warmed maximum must hit the freelist"
+        );
+
+        // one width beyond the warmed maximum is an honest miss, after which
+        // the new size class is itself warmed
+        let wide = ws.take(row * (max_width + 2));
+        assert_eq!(ws.stats().misses, 1);
+        ws.recycle(wide);
+        ws.reset_stats();
+        let again = ws.take(row * (max_width + 2));
+        assert_eq!(ws.stats(), WorkspaceStats { takes: 1, misses: 0 });
+        ws.recycle(again);
+        assert!(ws.free.len() <= MAX_FREE);
+    }
+
+    #[test]
     fn bits_scratch_roundtrips() {
         let mut ws = Workspace::new();
         let mut bm = ws.take_bits();

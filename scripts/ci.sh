@@ -88,4 +88,18 @@ for threads in 1 4; do
     DTSNN_THREADS=$threads cargo test -q -p dtsnn-conformance --test golden_replay quant
 done
 
+# Serving stage: the continuous-batching engine. The simulated-clock
+# determinism suite (mid-window splice ≡ solo run, bitwise, plus schedule
+# reproducibility) and the admission/θ-controller property suite run at
+# both ambient worker counts; then a 2-second real-clock smoke drives the
+# live MPSC reactor end to end at each count.
+for threads in 1 4; do
+    echo "== serving stage: simulated-clock determinism (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-serve --test determinism
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-serve --test properties
+    echo "== serving stage: real-clock smoke (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads DTSNN_SERVE_SMOKE_SECS=2 \
+        cargo run --release -q -p dtsnn-bench --bin serving_load
+done
+
 echo "ci.sh: all green"
