@@ -47,13 +47,20 @@
 //!     rows) must reproduce each request's solo [`DynamicInference`]
 //!     run bitwise — prediction, T̂ and accumulated logits — under 1
 //!     worker and under 4.
+//! 11. **Event-driven simulator ≡ analytical ledger** — with pipelining
+//!     disabled and contention off, the event-queue hardware simulator
+//!     ([`EventSim`]) must reproduce `CostModel::inference_cost` exactly:
+//!     bitwise on latency cycles, within 1e-9 relative on every energy
+//!     component, with and without the σ–E module, under 1 worker and
+//!     under 4.
 
 use dtsnn_bench::Arch;
 use dtsnn_core::{
     static_inference, DynamicEvaluation, DynamicInference, DynamicOutcome, ExitPolicy,
 };
 use dtsnn_imc::{
-    quantize_dequantize, ChipMapping, DeviceNoise, FaultInjector, FaultModel, HardwareConfig,
+    quantize_dequantize, ChipMapping, Component, CostModel, DeviceNoise, EventSim, FaultInjector,
+    FaultModel, HardwareConfig, Placement, SimOptions,
 };
 use dtsnn_snn::{load_params, save_params, LifConfig, Mode, ModelConfig, Snn};
 use dtsnn_tensor::{backend, parallel, sparse, BackendKind, Tensor, TensorRng};
@@ -594,6 +601,57 @@ fn oracle_serving_equals_sequential(case: &FuzzCase) -> Result<(), String> {
     Ok(())
 }
 
+fn oracle_event_sim_matches_ledger(case: &FuzzCase) -> Result<(), String> {
+    let config = HardwareConfig { crossbar_size: case.crossbar_size, ..HardwareConfig::default() };
+    let geometry = case.arch().geometry(&case.model_config());
+    let mapping = ChipMapping::map(&geometry, &config).map_err(|e| e.to_string())?;
+    let cost = CostModel::new(mapping, config).map_err(|e| e.to_string())?;
+    // seeded per-layer densities; the analog-encoded first layer stays 1.0
+    let mut rng = TensorRng::seed_from(case.seed ^ 0x51E7_11);
+    let mut densities: Vec<f32> =
+        (0..cost.mapping().layers().len()).map(|_| rng.uniform(0.0, 1.0)).collect();
+    densities[0] = 1.0;
+    for classes in [None, Some(case.classes)] {
+        let ledger = cost
+            .inference_cost(&densities, case.timesteps as f64, classes)
+            .map_err(|e| e.to_string())?;
+        for threads in [1usize, 4] {
+            let report = parallel::with_threads(threads, || {
+                let placement = Placement::linear(cost.mapping())?;
+                EventSim::new(&cost, placement, SimOptions::analytical_parity())?
+                    .run(&densities, case.timesteps, classes)
+            })
+            .map_err(|e| e.to_string())?;
+            if report.cost.latency_cycles != ledger.latency_cycles {
+                return Err(format!(
+                    "threads={threads} classes={classes:?}: event-sim latency {} cycles != \
+                     analytical {} cycles",
+                    report.cost.latency_cycles, ledger.latency_cycles
+                ));
+            }
+            for c in Component::ALL {
+                let sim = report.cost.energy.component(c);
+                let ana = ledger.energy.component(c);
+                let relative = (sim - ana).abs() / ana.abs().max(1e-12);
+                if relative > 1e-9 {
+                    return Err(format!(
+                        "threads={threads} classes={classes:?}: component {} energy {sim} pJ \
+                         drifts from analytical {ana} pJ (relative {relative:e})",
+                        c.name()
+                    ));
+                }
+            }
+            if (report.cost.timesteps - ledger.timesteps).abs() > 0.0 {
+                return Err(format!(
+                    "threads={threads}: executed timesteps {} != analytical {}",
+                    report.cost.timesteps, ledger.timesteps
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs every oracle against `case`, returning the first violation.
 ///
 /// # Errors
@@ -611,6 +669,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     oracle_sparse_equals_dense(case).map_err(|e| format!("sparse≡dense: {e}"))?;
     oracle_backend_equivalence(case).map_err(|e| format!("backend-equivalence: {e}"))?;
     oracle_serving_equals_sequential(case).map_err(|e| format!("serving≡sequential: {e}"))?;
+    oracle_event_sim_matches_ledger(case).map_err(|e| format!("event-sim≡ledger: {e}"))?;
     Ok(())
 }
 

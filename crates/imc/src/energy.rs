@@ -7,7 +7,7 @@
 //! loading + static leakage across the inference window) makes the T=8/T=1
 //! energy ratio ≈ 4.9 rather than 8 (Fig. 1(B)).
 
-use crate::mapping::ChipMapping;
+use crate::mapping::{ChipMapping, MappedLayer};
 use crate::{HardwareConfig, ImcError, Result};
 
 /// Chip components tracked by the energy breakdown (Fig. 1(A)).
@@ -180,7 +180,7 @@ impl CostModel {
         &self.config
     }
 
-    fn check_densities(&self, densities: &[f32]) -> Result<()> {
+    pub(crate) fn check_densities(&self, densities: &[f32]) -> Result<()> {
         if densities.len() != self.mapping.layers().len() {
             return Err(ImcError::ActivityMismatch {
                 layers: self.mapping.layers().len(),
@@ -203,53 +203,64 @@ impl CostModel {
     /// Returns [`ImcError::ActivityMismatch`] for wrong density counts.
     pub fn timestep_energy(&self, densities: &[f32]) -> Result<EnergyBreakdown> {
         self.check_densities(densities)?;
-        let e = &self.config.energy;
-        let xb = self.config.crossbar_size as f64;
-        let mux = self.config.adc_mux_ratio as f64;
         let mut out = EnergyBreakdown::new();
         for (layer, &density) in self.mapping.layers().iter().zip(densities) {
-            let d = density as f64;
-            let vp = layer.vector_presentations as f64;
-            let rows = layer.rows as f64;
-            let pcols = layer.physical_cols as f64;
-            let cols = layer.cols as f64;
-            let rs = layer.row_segments as f64;
-
-            // Crossbar: every active row charges every physical column it
-            // crosses (one device per crossing).
-            out.add(Component::Crossbar, vp * rows * d * pcols * e.cell_read);
-            // ADC: one conversion per physical column per row segment per
-            // vector (partial sums of each segment are digitized separately).
-            let conversions = vp * pcols * rs;
-            out.add(Component::Adc, conversions * e.adc_conversion);
-            // Digital peripherals: wordline drivers for active rows, column
-            // muxes for each conversion, shift-&-add to recombine bit slices.
-            let driver = vp * rows * d * e.input_switch;
-            let mux_e = conversions * e.mux * mux;
-            let shift = vp * cols * self.config.slices_per_weight() as f64 * rs * e.shift_add;
-            out.add(Component::DigitalPeripherals, driver + mux_e + shift);
-            // Accumulators: PE-level (per row segment) plus tile and global.
-            out.add(Component::Accumulators, vp * cols * (rs + 2.0) * e.accumulate);
-            // Buffers: packed input spikes read+write, partial-sum bytes,
-            // packed output spikes.
-            let input_bytes = vp * rows * d / 8.0;
-            let psum_bytes = vp * cols * rs;
-            let output_bytes = layer.output_neurons as f64 / 8.0;
-            out.add(
-                Component::Buffers,
-                (2.0 * input_bytes + psum_bytes + output_bytes) * e.buffer_byte,
-            );
-            // Interconnect: partial sums between PEs/tiles + spikes onward.
-            let noc_bytes = psum_bytes / 4.0 + output_bytes;
-            out.add(Component::Interconnect, noc_bytes * e.interconnect_byte);
-            // LIF modules update each output neuron once per timestep (the
-            // classifier output goes to the σ–E module instead).
-            if !layer.is_classifier {
-                out.add(Component::LifModule, layer.output_neurons as f64 * e.lif_update);
-            }
-            let _ = xb;
+            out.accumulate(&self.layer_timestep_energy(layer, density));
         }
         Ok(out)
+    }
+
+    /// Dynamic energy of one layer for one timestep at the given input spike
+    /// density. Shared by the analytical ledger above and the event-driven
+    /// simulator ([`crate::EventSim`]) so the two models cannot drift.
+    pub(crate) fn layer_timestep_energy(
+        &self,
+        layer: &MappedLayer,
+        density: f32,
+    ) -> EnergyBreakdown {
+        let e = &self.config.energy;
+        let mux = self.config.adc_mux_ratio as f64;
+        let mut out = EnergyBreakdown::new();
+        let d = density as f64;
+        let vp = layer.vector_presentations as f64;
+        let rows = layer.rows as f64;
+        let pcols = layer.physical_cols as f64;
+        let cols = layer.cols as f64;
+        let rs = layer.row_segments as f64;
+
+        // Crossbar: every active row charges every physical column it
+        // crosses (one device per crossing).
+        out.add(Component::Crossbar, vp * rows * d * pcols * e.cell_read);
+        // ADC: one conversion per physical column per row segment per
+        // vector (partial sums of each segment are digitized separately).
+        let conversions = vp * pcols * rs;
+        out.add(Component::Adc, conversions * e.adc_conversion);
+        // Digital peripherals: wordline drivers for active rows, column
+        // muxes for each conversion, shift-&-add to recombine bit slices.
+        let driver = vp * rows * d * e.input_switch;
+        let mux_e = conversions * e.mux * mux;
+        let shift = vp * cols * self.config.slices_per_weight() as f64 * rs * e.shift_add;
+        out.add(Component::DigitalPeripherals, driver + mux_e + shift);
+        // Accumulators: PE-level (per row segment) plus tile and global.
+        out.add(Component::Accumulators, vp * cols * (rs + 2.0) * e.accumulate);
+        // Buffers: packed input spikes read+write, partial-sum bytes,
+        // packed output spikes.
+        let input_bytes = vp * rows * d / 8.0;
+        let psum_bytes = vp * cols * rs;
+        let output_bytes = layer.output_neurons as f64 / 8.0;
+        out.add(
+            Component::Buffers,
+            (2.0 * input_bytes + psum_bytes + output_bytes) * e.buffer_byte,
+        );
+        // Interconnect: partial sums between PEs/tiles + spikes onward.
+        let noc_bytes = psum_bytes / 4.0 + output_bytes;
+        out.add(Component::Interconnect, noc_bytes * e.interconnect_byte);
+        // LIF modules update each output neuron once per timestep (the
+        // classifier output goes to the σ–E module instead).
+        if !layer.is_classifier {
+            out.add(Component::LifModule, layer.output_neurons as f64 * e.lif_update);
+        }
+        out
     }
 
     /// σ–E module energy for **one timestep** of a `classes`-way classifier
@@ -265,17 +276,21 @@ impl CostModel {
     /// columns; layers execute sequentially (timesteps are not pipelined —
     /// the paper's DT-SNN-specific choice).
     pub fn timestep_latency(&self) -> u64 {
+        self.mapping.layers().iter().map(|layer| self.layer_compute_cycles(layer)).sum()
+    }
+
+    /// Cycles one layer occupies its datapath for one timestep: sequencing
+    /// overhead plus, per vector presentation, a crossbar read, the muxed ADC
+    /// conversions and a shift-&-add. Shared by the sequential ledger, the
+    /// pipeline stage model and the event-driven simulator.
+    pub(crate) fn layer_compute_cycles(&self, layer: &MappedLayer) -> u64 {
         let l = &self.config.latency;
         let xb = self.config.crossbar_size as u64;
         let mux = self.config.adc_mux_ratio as u64;
-        let mut cycles = 0u64;
-        for layer in self.mapping.layers() {
-            let cols_per_xbar = (layer.physical_cols as u64).min(xb);
-            let conversions = cols_per_xbar.div_ceil(mux);
-            let per_vector = l.crossbar_read + conversions * l.adc + l.shift_add;
-            cycles += l.layer_overhead + layer.vector_presentations as u64 * per_vector;
-        }
-        cycles
+        let cols_per_xbar = (layer.physical_cols as u64).min(xb);
+        let conversions = cols_per_xbar.div_ceil(mux);
+        let per_vector = l.crossbar_read + conversions * l.adc + l.shift_add;
+        l.layer_overhead + layer.vector_presentations as u64 * per_vector
     }
 
     /// σ–E module latency per timestep, cycles.
@@ -321,14 +336,18 @@ impl CostModel {
         let per_t = self.timestep_energy(densities)?;
         let mut energy = per_t.scaled(timesteps);
         energy.accumulate(&self.fixed_energy(densities)?);
-        let mut latency = (self.timestep_latency() as f64 * timesteps).round() as u64;
+        // Accumulate latency in f64 and round once at the end: rounding the
+        // timestep and σ–E terms separately drifts up to one cycle on
+        // fractional (dataset-averaged) timesteps and disagrees with the
+        // pipelined arm, which rounds once.
+        let mut latency = self.timestep_latency() as f64 * timesteps;
         if let Some(k) = classes {
             energy.add(Component::SigmaE, self.sigma_e_energy(k) * timesteps);
-            latency += (self.sigma_e_latency(k) as f64 * timesteps).round() as u64;
+            latency += self.sigma_e_latency(k) as f64 * timesteps;
         }
         Ok(InferenceCost {
             energy,
-            latency_cycles: latency,
+            latency_cycles: latency.round() as u64,
             clock_ns: self.config.latency.clock_ns,
             timesteps,
         })
@@ -460,6 +479,35 @@ mod tests {
         let c1 = model.inference_cost(&d, 1.0, Some(10)).unwrap();
         let c2 = model.inference_cost(&d, 2.0, Some(10)).unwrap();
         assert!(c.energy_pj() > c1.energy_pj() && c.energy_pj() < c2.energy_pj());
+    }
+
+    #[test]
+    fn fractional_timesteps_latency_rounds_once() {
+        // Regression: the timestep and σ–E latency terms used to be rounded
+        // to u64 separately before summing, drifting up to one cycle on
+        // fractional T̂ vs the single rounding the pipelined arm applies.
+        let model = vgg16_model();
+        let d = nominal_densities(&model);
+        let lt = model.timestep_latency() as f64;
+        let st = model.sigma_e_latency(10) as f64;
+        // find a fractional T̂ where the two rounding orders disagree
+        let t_hat = (1..4000)
+            .map(|i| 1.0 + i as f64 / 1000.0)
+            .find(|t| (lt * t).round() + (st * t).round() != (lt * t + st * t).round())
+            .expect("a discriminating fractional T̂ exists");
+        let c = model.inference_cost(&d, t_hat, Some(10)).unwrap();
+        assert_eq!(c.latency_cycles, (lt * t_hat + st * t_hat).round() as u64);
+        // and the sequential scheduled path (which delegates here) agrees
+        let s = model
+            .inference_cost_scheduled(
+                &d,
+                t_hat,
+                8,
+                Some(10),
+                crate::pipeline::TimestepSchedule::Sequential,
+            )
+            .unwrap();
+        assert_eq!(c.latency_cycles, s.latency_cycles);
     }
 
     #[test]

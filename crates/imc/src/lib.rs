@@ -43,7 +43,9 @@ mod mapping;
 mod noc;
 mod noise;
 mod pipeline;
+mod search;
 mod sigma_e;
+mod sim;
 
 pub use area::{chip_area, AreaConstants, AreaReport};
 pub use config::{EnergyConstants, HardwareConfig, LatencyConstants};
@@ -54,7 +56,12 @@ pub use mapping::{ChipMapping, MappedLayer};
 pub use noc::{LinkTraffic, NocModel};
 pub use noise::{perturb_network, quantize_dequantize, DeviceNoise};
 pub use pipeline::TimestepSchedule;
+pub use search::{
+    pareto_front, provisioned_area_mm2, search_placement, AnnealOptions, ParetoPoint,
+    SearchResult, TrajectoryPoint,
+};
 pub use sigma_e::{exact_normalized_entropy, SigmaEModule, SigmaEReading};
+pub use sim::{EventSim, Placement, SimOptions, SimReport};
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, ImcError>;

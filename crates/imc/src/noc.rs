@@ -105,13 +105,13 @@ impl NocModel {
     ///
     /// # Errors
     ///
-    /// Returns [`ImcError::ActivityMismatch`] when `densities` does not have
-    /// one entry per *link source* layer (layers.len() − 1 entries needed at
-    /// minimum; extra entries are ignored).
+    /// Returns [`ImcError::LinkDensityMismatch`] when `densities` does not
+    /// have one entry per *link source* layer (layers.len() − 1 entries
+    /// needed at minimum; extra entries are ignored).
     pub fn byte_hops_per_timestep(&self, densities: &[f32]) -> Result<f64> {
         if densities.len() < self.links.len() {
-            return Err(ImcError::ActivityMismatch {
-                layers: self.links.len(),
+            return Err(ImcError::LinkDensityMismatch {
+                links: self.links.len(),
                 densities: densities.len(),
             });
         }
@@ -210,5 +210,47 @@ mod tests {
         let (mapping, config) = vgg16();
         let noc = NocModel::new(&mapping, &config).unwrap();
         assert!(noc.byte_hops_per_timestep(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn short_density_error_reports_the_link_count() {
+        // Regression: this used to raise ActivityMismatch with the *link*
+        // count in its `layers` field, so the rendered message misstated the
+        // required density count by one ("mapping has N−1 layers ...").
+        let (mapping, config) = vgg16();
+        let noc = NocModel::new(&mapping, &config).unwrap();
+        let err = noc.byte_hops_per_timestep(&[0.5]).unwrap_err();
+        assert_eq!(
+            err,
+            ImcError::LinkDensityMismatch { links: noc.links().len(), densities: 1 }
+        );
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "noc has {} inter-layer links but 1 density entries supplied \
+                 (need one per link source layer)",
+                noc.links().len()
+            )
+        );
+    }
+
+    #[test]
+    fn single_layer_network_has_no_links_and_zero_noc_cost() {
+        // A one-layer network never leaves its tile range: the NoC must
+        // report zero traffic, zero energy and zero latency without
+        // panicking, for any density slice (no links need entries).
+        let config = HardwareConfig::default();
+        let mapping = ChipMapping::map(
+            &[LayerGeometry::Fc { in_features: 64, out_features: 10 }],
+            &config,
+        )
+        .unwrap();
+        let noc = NocModel::new(&mapping, &config).unwrap();
+        assert!(noc.links().is_empty());
+        assert_eq!(noc.mesh_side(), 1);
+        assert_eq!(noc.timestep_latency(), 0);
+        assert_eq!(noc.byte_hops_per_timestep(&[1.0]).unwrap(), 0.0);
+        assert_eq!(noc.timestep_energy(&[1.0]).unwrap(), 0.0);
+        assert_eq!(noc.timestep_energy(&[]).unwrap(), 0.0);
     }
 }

@@ -28,24 +28,17 @@ pub enum TimestepSchedule {
 }
 
 /// Relative energy overhead of pipeline registers/control per dynamic
-/// energy unit (the "hardware overhead" the paper mentions).
-const PIPELINE_ENERGY_OVERHEAD: f64 = 0.06;
+/// energy unit (the "hardware overhead" the paper mentions). Shared with
+/// the event-driven simulator so both pipelined models charge the same tax.
+pub(crate) const PIPELINE_ENERGY_OVERHEAD: f64 = 0.06;
 
 impl CostModel {
     /// Cycles of the slowest pipeline stage (one layer, one timestep).
     pub fn bottleneck_stage_cycles(&self) -> u64 {
-        let l = &self.config().latency;
-        let xb = self.config().crossbar_size as u64;
-        let mux = self.config().adc_mux_ratio as u64;
         self.mapping()
             .layers()
             .iter()
-            .map(|layer| {
-                let cols_per_xbar = (layer.physical_cols as u64).min(xb);
-                let conversions = cols_per_xbar.div_ceil(mux);
-                let per_vector = l.crossbar_read + conversions * l.adc + l.shift_add;
-                l.layer_overhead + layer.vector_presentations as u64 * per_vector
-            })
+            .map(|layer| self.layer_compute_cycles(layer))
             .max()
             .unwrap_or(0)
     }
@@ -80,6 +73,15 @@ impl CostModel {
         classes: Option<usize>,
         schedule: TimestepSchedule,
     ) -> Result<InferenceCost> {
+        // Validate here so both arms reject, as documented: the Sequential
+        // arm is covered transitively by `inference_cost`, but the Pipelined
+        // arm would otherwise clamp latency and produce non-monotone energy
+        // for non-positive timestep counts.
+        if timesteps <= 0.0 {
+            return Err(ImcError::InvalidConfig(format!(
+                "timesteps must be positive, got {timesteps}"
+            )));
+        }
         if timesteps > t_max as f64 {
             return Err(ImcError::InvalidConfig(format!(
                 "timesteps {timesteps} exceeds window {t_max}"
@@ -122,7 +124,7 @@ impl CostModel {
 mod tests {
     use super::*;
     use crate::{ChipMapping, HardwareConfig};
-    use dtsnn_snn::vgg16_geometry;
+    use dtsnn_snn::{vgg16_geometry, LayerGeometry};
 
     fn model() -> CostModel {
         let config = HardwareConfig::default();
@@ -197,6 +199,68 @@ mod tests {
         assert!(m
             .inference_cost_scheduled(&d, 5.0, 4, None, TimestepSchedule::Pipelined)
             .is_err());
+    }
+
+    #[test]
+    fn rejects_non_positive_timesteps_in_both_arms() {
+        // Regression: the Pipelined arm used to skip the documented
+        // non-positive check, silently clamping latency and producing
+        // non-monotone energy for timesteps ≤ 0.
+        let m = model();
+        let d = densities(&m);
+        for t in [0.0, -1.0, -0.5] {
+            for schedule in [TimestepSchedule::Sequential, TimestepSchedule::Pipelined] {
+                assert!(
+                    matches!(
+                        m.inference_cost_scheduled(&d, t, 4, Some(10), schedule),
+                        Err(ImcError::InvalidConfig(_))
+                    ),
+                    "timesteps {t} must be rejected under {schedule:?}"
+                );
+            }
+        }
+    }
+
+    fn single_layer_model() -> CostModel {
+        let config = HardwareConfig::default();
+        let mapping = ChipMapping::map(
+            &[LayerGeometry::Fc { in_features: 64, out_features: 10 }],
+            &config,
+        )
+        .unwrap();
+        CostModel::new(mapping, config).unwrap()
+    }
+
+    #[test]
+    fn single_layer_speculative_depth_is_zero() {
+        // Boundary: with one layer the bottleneck stage IS the full
+        // traversal, so no timesteps can be speculatively in flight.
+        let m = single_layer_model();
+        assert_eq!(m.bottleneck_stage_cycles(), m.timestep_latency());
+        assert_eq!(m.speculative_depth(), 0.0);
+    }
+
+    #[test]
+    fn single_layer_network_through_both_schedules() {
+        // With one pipeline stage there is nothing to overlap: latency is
+        // identical under both schedules, and the pipelined arm only adds
+        // the register-overhead tax on dynamic energy.
+        let m = single_layer_model();
+        let d = [1.0f32];
+        let seq = m
+            .inference_cost_scheduled(&d, 2.0, 4, Some(10), TimestepSchedule::Sequential)
+            .unwrap();
+        let pipe = m
+            .inference_cost_scheduled(&d, 2.0, 4, Some(10), TimestepSchedule::Pipelined)
+            .unwrap();
+        assert_eq!(pipe.latency_cycles, seq.latency_cycles);
+        let ratio = pipe.energy_pj() / seq.energy_pj();
+        assert!(
+            (1.0..=1.0 + PIPELINE_ENERGY_OVERHEAD + 1e-9).contains(&ratio),
+            "ratio {ratio}"
+        );
+        // no speculation possible: executed timesteps match the useful ones
+        assert!((pipe.timesteps - seq.timesteps).abs() < 1e-12);
     }
 
     #[test]

@@ -102,4 +102,16 @@ for threads in 1 4; do
         cargo run --release -q -p dtsnn-bench --bin serving_load
 done
 
+# Simulator stage: the event-driven multi-tile model and the mapping
+# search. The integration suite pins (a) bitwise parity between the event
+# model (pipelining + contention off) and the analytical ledger — fuzz
+# oracle 11 re-checks the same equivalence over random cases inside the
+# fuzz_smoke runs above — (b) the flow-shop closed form for the pipelined
+# schedule, and (c) seeded annealing trajectories that are bitwise
+# identical at 1 and 4 ambient workers.
+for threads in 1 4; do
+    echo "== simulator stage: event-sim parity + annealing determinism (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-imc --test simulator
+done
+
 echo "ci.sh: all green"
