@@ -77,6 +77,7 @@ fn build_trace(arrivals: &[u64], seed: u64) -> Vec<TracedRequest> {
                 id: i as u64,
                 frames: vec![Tensor::randn(&[2, 8, 8], 0.5, 0.5, &mut rng)],
                 deadline_nanos: None,
+                priority: 0,
             },
         })
         .collect()
@@ -118,7 +119,10 @@ fn real_clock_smoke(secs: u64) -> Result<(), Box<dyn std::error::Error>> {
         let start = std::time::Instant::now();
         while start.elapsed().as_secs() < secs {
             let frame = Tensor::randn(&[2, 8, 8], 0.5, 0.5, &mut rng);
-            if tx.send(Request { id: sent, frames: vec![frame], deadline_nanos: None }).is_err() {
+            if tx
+                .send(Request { id: sent, frames: vec![frame], deadline_nanos: None, priority: 0 })
+                .is_err()
+            {
                 break;
             }
             sent += 1;
@@ -200,8 +204,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "completed": r.completed,
                     "timed_out": r.timed_out,
                     "rejected": r.rejected,
+                    "failed": r.failed,
                     "p50_latency_ms": r.p50_latency_nanos as f64 / 1e6,
                     "p99_latency_ms": r.p99_latency_nanos as f64 / 1e6,
+                    "censored_p50_latency_ms": r.censored_p50_latency_nanos as f64 / 1e6,
+                    "censored_p99_latency_ms": r.censored_p99_latency_nanos as f64 / 1e6,
                     "goodput_per_sec": r.goodput_per_sec,
                     "failure_rate": r.failure_rate,
                     "avg_timesteps": r.avg_timesteps,

@@ -53,6 +53,14 @@
 //!     bitwise on latency cycles, within 1e-9 relative on every energy
 //!     component, with and without the σ–E module, under 1 worker and
 //!     under 4.
+//! 12. **No-fault cluster ≡ single server** — the sharded fault-tolerant
+//!     router with an empty fault schedule must be a transparent wrapper:
+//!     a 1-worker cluster reproduces the single-server replay bitwise
+//!     (status, prediction, T̂, finish times, scores and accumulated
+//!     logits; arrival stamps are the documented divergence), and a
+//!     4-worker cluster still matches each request's solo
+//!     [`DynamicInference`] run bitwise with exactly-once termination —
+//!     both under 1 worker thread and under 4.
 
 use dtsnn_bench::Arch;
 use dtsnn_core::{
@@ -533,6 +541,7 @@ fn oracle_serving_equals_sequential(case: &FuzzCase) -> Result<(), String> {
                 id: k as u64,
                 frames: vec![case.frame(0x5E7_5E7 + k as u64)],
                 deadline_nanos: None,
+                priority: 0,
             },
         })
         .collect();
@@ -595,6 +604,152 @@ fn oracle_serving_equals_sequential(case: &FuzzCase) -> Result<(), String> {
                     "{threads}-worker request {}: accumulated logits differ bitwise from the solo run",
                     tr.request.id
                 ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn oracle_cluster_equals_server(case: &FuzzCase) -> Result<(), String> {
+    use dtsnn_serve::{
+        replay_trace, BrownoutConfig, Cluster, ClusterConfig, CompletionStatus, FaultSchedule,
+        Request, Server, ServerConfig, ServiceModel, SimClock, ThetaController, TracedRequest,
+    };
+    let samples = 5usize;
+    let trace: Vec<TracedRequest> = (0..samples)
+        .map(|k| TracedRequest {
+            at_nanos: k as u64 * 700,
+            request: Request {
+                id: k as u64,
+                frames: vec![case.frame(0xC1_057E4 + k as u64)],
+                deadline_nanos: None,
+                priority: 0,
+            },
+        })
+        .collect();
+    let server_config = ServerConfig {
+        max_timesteps: case.timesteps,
+        slots: 2,
+        queue_capacity: samples,
+        theta: ThetaController::fixed(case.theta).map_err(|e| e.to_string())?,
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 100 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    };
+    let cluster_config = ClusterConfig {
+        server: server_config.clone(),
+        queue_capacity: samples,
+        retry_budget: 3,
+        backoff_base_nanos: 1000,
+        stall_timeout_nanos: None,
+        hedge_after_nanos: None,
+        max_consecutive_faults: 3,
+        brownout: BrownoutConfig::disabled(),
+        record_events: false,
+    };
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(case.theta).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    for threads in [1usize, 4] {
+        let baseline = parallel::with_threads(threads, || -> Result<_, String> {
+            let net = case.build(9)?;
+            let mut server =
+                Server::new(net, server_config.clone(), SimClock::new()).map_err(|e| e.to_string())?;
+            replay_trace(&mut server, &trace).map_err(|e| e.to_string())?;
+            Ok(server.take_outcomes())
+        })?;
+        for workers in [1usize, 4] {
+            let outcomes = parallel::with_threads(threads, || -> Result<_, String> {
+                let net = case.build(9)?;
+                let mut cluster =
+                    Cluster::simulated(net, cluster_config.clone(), workers, FaultSchedule::none())
+                        .map_err(|e| e.to_string())?;
+                cluster.run_trace(&trace).map_err(|e| e.to_string())?;
+                let stats = cluster.stats();
+                if stats.completed != samples as u64
+                    || stats.requeues + stats.hedges + stats.shed + stats.failed != 0
+                {
+                    return Err(format!("no-fault {workers}-worker cluster misbehaved: {stats:?}"));
+                }
+                Ok(cluster.take_outcomes())
+            })?;
+            if outcomes.len() != samples {
+                return Err(format!(
+                    "threads={threads} workers={workers}: {} outcomes for {samples} requests",
+                    outcomes.len()
+                ));
+            }
+            if workers == 1 {
+                // full behavioral parity with the single server, including
+                // termination order and finish times (arrival stamps are
+                // the documented divergence)
+                for (c, b) in outcomes.iter().zip(&baseline) {
+                    let c_bits: Vec<u32> =
+                        c.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+                    let b_bits: Vec<u32> =
+                        b.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+                    if c.id != b.id
+                        || c.status != b.status
+                        || c.prediction != b.prediction
+                        || c.timesteps_used != b.timesteps_used
+                        || c.finish_nanos != b.finish_nanos
+                        || c_bits != b_bits
+                    {
+                        return Err(format!(
+                            "threads={threads}: 1-worker cluster diverged from the single server \
+                             at request {} (cluster {:?} pred {:?} T̂ {} finish {}, server {:?} \
+                             pred {:?} T̂ {} finish {})",
+                            c.id,
+                            c.status,
+                            c.prediction,
+                            c.timesteps_used,
+                            c.finish_nanos,
+                            b.status,
+                            b.prediction,
+                            b.timesteps_used,
+                            b.finish_nanos
+                        ));
+                    }
+                }
+            } else {
+                // sharded: per-request solo parity and exactly-once
+                for tr in &trace {
+                    let outcome = outcomes
+                        .iter()
+                        .find(|o| o.id == tr.request.id)
+                        .ok_or_else(|| format!("request {} has no outcome", tr.request.id))?;
+                    if outcome.status != CompletionStatus::Completed {
+                        return Err(format!(
+                            "workers={workers} request {} ended {:?} without faults or deadlines",
+                            tr.request.id, outcome.status
+                        ));
+                    }
+                    let mut net = case.build(9)?;
+                    let solo = runner
+                        .run_traced(&mut net, &tr.request.frames)
+                        .map_err(|e| e.to_string())?;
+                    let solo_acc =
+                        &solo.per_timestep.last().expect("nonempty trace").accumulated_logits;
+                    let outcome_bits: Vec<u32> =
+                        outcome.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+                    let solo_bits: Vec<u32> = solo_acc.iter().map(|v| v.to_bits()).collect();
+                    if outcome.prediction != Some(solo.outcome.prediction)
+                        || outcome.timesteps_used != solo.outcome.timesteps_used
+                        || outcome_bits != solo_bits
+                    {
+                        return Err(format!(
+                            "workers={workers} request {}: sharded outcome (pred {:?}, T̂ {}) \
+                             drifted from solo (pred {}, T̂ {})",
+                            tr.request.id,
+                            outcome.prediction,
+                            outcome.timesteps_used,
+                            solo.outcome.prediction,
+                            solo.outcome.timesteps_used
+                        ));
+                    }
+                }
             }
         }
     }
@@ -670,6 +825,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     oracle_backend_equivalence(case).map_err(|e| format!("backend-equivalence: {e}"))?;
     oracle_serving_equals_sequential(case).map_err(|e| format!("serving≡sequential: {e}"))?;
     oracle_event_sim_matches_ledger(case).map_err(|e| format!("event-sim≡ledger: {e}"))?;
+    oracle_cluster_equals_server(case).map_err(|e| format!("cluster≡server: {e}"))?;
     Ok(())
 }
 

@@ -25,6 +25,10 @@ pub struct Request {
     /// Latency budget in nanoseconds from arrival; `None` uses the server's
     /// default (which may itself be "no deadline").
     pub deadline_nanos: Option<u64>,
+    /// Scheduling priority (higher is more important). A single [`Server`]
+    /// serves FIFO regardless of priority; the cluster's brownout ladder
+    /// sheds the lowest-priority queued requests first under overload.
+    pub priority: u8,
 }
 
 /// How a request left the server.
@@ -35,8 +39,12 @@ pub enum CompletionStatus {
     /// Terminated past its deadline — while queued (no prediction) or
     /// mid-window (best-effort prediction from the logits folded so far).
     TimedOut,
-    /// Refused at submission: the pending queue was at capacity.
+    /// Refused at submission: the pending queue was at capacity — or, at
+    /// the cluster level, shed by the brownout ladder while queued.
     Rejected,
+    /// Gave up after exhausting the retry budget across worker failures
+    /// (cluster-level only; a single server never reports this).
+    Failed,
 }
 
 /// Everything the server reports about one request. Every submitted request
@@ -64,6 +72,9 @@ pub struct RequestOutcome {
     pub arrival_nanos: u64,
     /// Termination time on the server clock.
     pub finish_nanos: u64,
+    /// Absolute deadline on the server clock, if the request had one — the
+    /// censoring point for deadline-censored latency statistics.
+    pub deadline_nanos: Option<u64>,
 }
 
 impl RequestOutcome {
@@ -189,6 +200,16 @@ pub struct Server<C: Clock> {
     stats: ServerStats,
     /// Batch-1 frame dims fixed by the first accepted request.
     frame_dims: Option<Vec<usize>>,
+    /// Service-cost multiplier (the chaos plane's slowdown lever); 1.0 when
+    /// healthy.
+    service_multiplier: f64,
+    /// Brownout cap on timesteps: rows retire at `min(cap, max_timesteps)`.
+    timestep_cap: Option<usize>,
+    /// Extra queue depth the θ controller sees (cluster-wide pressure fed
+    /// into a worker whose local queue is intentionally kept shallow).
+    pressure_hint: usize,
+    /// Outstanding injected transient step errors (the chaos plane).
+    injected_faults: u32,
 }
 
 impl<C: Clock> Server<C> {
@@ -218,7 +239,68 @@ impl<C: Clock> Server<C> {
             schedule: Vec::new(),
             stats: ServerStats::default(),
             frame_dims: None,
+            service_multiplier: 1.0,
+            timestep_cap: None,
+            pressure_hint: 0,
+            injected_faults: 0,
         })
+    }
+
+    /// Scales every subsequent step's service cost (the chaos plane's
+    /// slowdown fault); 1.0 restores the healthy cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] unless the factor is finite
+    /// and ≥ 1.
+    pub fn set_service_multiplier(&mut self, factor: f64) -> Result<()> {
+        if !(factor.is_finite() && factor >= 1.0) {
+            return Err(ServeError::InvalidConfig(format!(
+                "service multiplier must be finite and >= 1, got {factor}"
+            )));
+        }
+        self.service_multiplier = factor;
+        Ok(())
+    }
+
+    /// Caps the effective inference window at `min(cap, max_timesteps)` —
+    /// the brownout ladder's degradation lever. Rows already past the cap
+    /// retire on their next step. `None` restores the full window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero cap.
+    pub fn set_timestep_cap(&mut self, cap: Option<usize>) -> Result<()> {
+        if cap == Some(0) {
+            return Err(ServeError::InvalidConfig("timestep cap must be nonzero".into()));
+        }
+        self.timestep_cap = cap;
+        Ok(())
+    }
+
+    /// Extra queue depth added to the local pending depth when the θ
+    /// controller is consulted — how a cluster feeds cluster-wide pressure
+    /// into a worker whose own queue is kept shallow by design.
+    pub fn set_pressure_hint(&mut self, depth: usize) {
+        self.pressure_hint = depth;
+    }
+
+    /// Arms `count` injected transient step errors (the chaos plane): each
+    /// subsequent [`Server::step`] with work to do burns its dispatch cost
+    /// and returns [`ServeError::Fault`] without touching any row state,
+    /// until the counter drains.
+    pub fn inject_transient_errors(&mut self, count: u32) {
+        self.injected_faults = self.injected_faults.saturating_add(count);
+    }
+
+    /// Removes a queued (not yet admitted) request *without* recording an
+    /// outcome; returns whether it was found. Cluster-level cancellation of
+    /// a redundant copy — the canceling layer owns the request's single
+    /// outcome.
+    pub fn cancel_queued(&mut self, id: u64) -> bool {
+        let before = self.pending.len();
+        self.pending.retain(|p| p.id != id);
+        self.pending.len() < before
     }
 
     /// The server's clock (clone a [`crate::SimClock`] handle before
@@ -248,9 +330,20 @@ impl<C: Clock> Server<C> {
     }
 
     /// θ the controller would use for the next step at the current queue
-    /// depth.
+    /// depth (including any cluster pressure hint).
     pub fn current_theta(&self) -> f32 {
-        self.config.theta.theta_for(self.pending.len())
+        self.config.theta.theta_for(self.pending.len().saturating_add(self.pressure_hint))
+    }
+
+    /// Service cost of one step at the given width under the current
+    /// slowdown multiplier. A multiplier of exactly 1.0 is bitwise-neutral
+    /// (every step cost in range is exactly representable in f64).
+    fn scaled_cost(&self, width: usize) -> u64 {
+        let base = self.config.service.step_cost(width);
+        if self.service_multiplier == 1.0 {
+            return base;
+        }
+        (base as f64 * self.service_multiplier).ceil() as u64
     }
 
     /// Drains the finished-request outcomes accumulated so far, in
@@ -279,7 +372,12 @@ impl<C: Clock> Server<C> {
     pub fn submit(&mut self, request: Request) -> Result<bool> {
         let arrival = self.clock.now();
         self.stats.submitted += 1;
-        let frames = self.normalize_frames(&request)?;
+        let frames =
+            normalize_request_frames(&request, self.config.max_timesteps, &mut self.frame_dims)?;
+        let deadline = request
+            .deadline_nanos
+            .or(self.config.default_deadline_nanos)
+            .map(|budget| arrival.saturating_add(budget));
         if self.pending.len() >= self.config.queue_capacity {
             self.stats.rejected += 1;
             self.outcomes.push(RequestOutcome {
@@ -292,62 +390,12 @@ impl<C: Clock> Server<C> {
                 accumulated_logits: Vec::new(),
                 arrival_nanos: arrival,
                 finish_nanos: arrival,
+                deadline_nanos: deadline,
             });
             return Ok(false);
         }
-        let deadline = request
-            .deadline_nanos
-            .or(self.config.default_deadline_nanos)
-            .map(|budget| arrival.saturating_add(budget));
         self.pending.push_back(Pending { id: request.id, frames, arrival, deadline });
         Ok(true)
-    }
-
-    /// Reshapes and validates a request's frames into the server's fixed
-    /// batch-1 shape.
-    fn normalize_frames(&mut self, request: &Request) -> Result<Vec<Tensor>> {
-        if request.frames.is_empty() {
-            return Err(ServeError::BadRequest(format!("request {}: no frames", request.id)));
-        }
-        if request.frames.len() != 1 && request.frames.len() != self.config.max_timesteps {
-            return Err(ServeError::BadRequest(format!(
-                "request {}: expected 1 or {} frames, got {}",
-                request.id,
-                self.config.max_timesteps,
-                request.frames.len()
-            )));
-        }
-        let mut out = Vec::with_capacity(request.frames.len());
-        for frame in &request.frames {
-            let batched = if frame.dims().len() == 4 {
-                frame.clone()
-            } else {
-                let mut dims = vec![1];
-                dims.extend_from_slice(frame.dims());
-                frame.reshape(&dims)?
-            };
-            if batched.dims()[0] != 1 {
-                return Err(ServeError::BadRequest(format!(
-                    "request {}: frames must be batch-1, got dims {:?}",
-                    request.id,
-                    frame.dims()
-                )));
-            }
-            match &self.frame_dims {
-                Some(dims) if dims != batched.dims() => {
-                    return Err(ServeError::BadRequest(format!(
-                        "request {}: frame dims {:?} disagree with the server's {:?}",
-                        request.id,
-                        batched.dims(),
-                        dims
-                    )));
-                }
-                Some(_) => {}
-                None => self.frame_dims = Some(batched.dims().to_vec()),
-            }
-            out.push(batched);
-        }
-        Ok(out)
     }
 
     /// Runs one engine step: expire queued requests past their deadline,
@@ -363,6 +411,16 @@ impl<C: Clock> Server<C> {
     ///
     /// Propagates network/tensor failures.
     pub fn step(&mut self) -> Result<bool> {
+        if self.injected_faults > 0 {
+            if self.in_flight.is_empty() && self.pending.is_empty() {
+                // an idle step is a no-op even on a faulty worker
+                return Ok(false);
+            }
+            // burn the dispatch cost, touch no row state, surface the fault
+            self.injected_faults -= 1;
+            self.clock.advance(self.scaled_cost(0));
+            return Err(ServeError::Fault("injected transient step error".into()));
+        }
         let start = self.clock.now();
         self.expire_pending(start);
 
@@ -400,8 +458,9 @@ impl<C: Clock> Server<C> {
         }
 
         // θ for this step comes from the controller at the *post-admission*
-        // queue depth, and applies uniformly to every row scored this step
-        let theta = self.config.theta.theta_for(self.pending.len());
+        // queue depth (plus any cluster-wide pressure hint), and applies
+        // uniformly to every row scored this step
+        let theta = self.config.theta.theta_for(self.pending.len().saturating_add(self.pressure_hint));
         let policy = ExitPolicy::entropy(theta).map_err(ServeError::from)?;
         let width = self.in_flight.len();
         self.stats.peak_width = self.stats.peak_width.max(width as u64);
@@ -414,7 +473,7 @@ impl<C: Clock> Server<C> {
             .collect();
         let input = Tensor::concat_axis0(&views)?;
         let logits = self.net.forward_timestep(&input, Mode::Eval)?;
-        self.clock.advance(self.config.service.step_cost(width));
+        self.clock.advance(self.scaled_cost(width));
         let now = self.clock.now();
         self.stats.steps += 1;
 
@@ -422,6 +481,9 @@ impl<C: Clock> Server<C> {
         // `axpy(1.0, ·)` / `scale(1/t)` / softmax / score chain, bitwise
         let classes = logits.dims()[1];
         let t_max = self.config.max_timesteps;
+        // the brownout cap shortens the effective window; `>=` (not `==`)
+        // retires rows already past a cap lowered mid-flight
+        let t_eff = self.timestep_cap.map_or(t_max, |cap| cap.min(t_max));
         let mut keep: Vec<usize> = Vec::with_capacity(width);
         let mut retired: Vec<u64> = Vec::new();
         for row in 0..width {
@@ -440,7 +502,7 @@ impl<C: Clock> Server<C> {
             let probs = softmax_rows(&f_t)?;
             r.scores.push(policy.score(probs.data()));
             let policy_fired = policy.should_exit(probs.data());
-            let exit = policy_fired || r.t == t_max;
+            let exit = policy_fired || r.t >= t_eff;
             let late = r.deadline.is_some_and(|d| now > d);
             if exit || late {
                 // exit (early or full window) or deadline blown mid-window;
@@ -465,6 +527,7 @@ impl<C: Clock> Server<C> {
                     accumulated_logits: r.acc.clone(),
                     arrival_nanos: r.arrival,
                     finish_nanos: now,
+                    deadline_nanos: r.deadline,
                 });
             } else {
                 keep.push(row);
@@ -497,12 +560,21 @@ impl<C: Clock> Server<C> {
             let mut gone = retired.iter().copied();
             let mut keep_it = keep.iter().copied().peekable();
             for row in 0..width {
-                if keep_it.peek() == Some(&row) {
+                let id = if keep_it.peek() == Some(&row) {
                     keep_it.next();
-                    rows.push(kept.next().expect("kept row"));
+                    kept.next()
                 } else {
-                    rows.push(gone.next().expect("retired row"));
-                }
+                    gone.next()
+                };
+                let Some(id) = id else {
+                    return Err(ServeError::Internal(format!(
+                        "step record reconstruction: row {row} of {width} has no kept or \
+                         retired id (kept {} retired {})",
+                        self.in_flight.len(),
+                        retired.len()
+                    )));
+                };
+                rows.push(id);
             }
             self.schedule.push(StepRecord { start_nanos: start, theta, rows, admitted, retired });
         }
@@ -528,6 +600,7 @@ impl<C: Clock> Server<C> {
                     accumulated_logits: Vec::new(),
                     arrival_nanos: p.arrival,
                     finish_nanos: now,
+                    deadline_nanos: p.deadline,
                 });
             }
             !expired
@@ -543,6 +616,68 @@ impl<C: Clock> Server<C> {
         while self.step()? {}
         Ok(())
     }
+}
+
+/// Reshapes and validates a request's frames into a fixed batch-1 shape:
+/// either one frame (static input) or exactly `max_timesteps` frames (event
+/// data), each `[1, c, h, w]` after an optional batch axis is added.
+///
+/// `frame_dims` pins the shape across requests: `None` is set by the first
+/// accepted request, and later requests must agree. Shared by [`Server`]
+/// and the cluster router (which validates before sharding).
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadRequest`] for empty frames, a frame count other
+/// than 1 or `max_timesteps`, a batch axis wider than one, or dims that
+/// disagree with `frame_dims`.
+pub(crate) fn normalize_request_frames(
+    request: &Request,
+    max_timesteps: usize,
+    frame_dims: &mut Option<Vec<usize>>,
+) -> Result<Vec<Tensor>> {
+    if request.frames.is_empty() {
+        return Err(ServeError::BadRequest(format!("request {}: no frames", request.id)));
+    }
+    if request.frames.len() != 1 && request.frames.len() != max_timesteps {
+        return Err(ServeError::BadRequest(format!(
+            "request {}: expected 1 or {} frames, got {}",
+            request.id,
+            max_timesteps,
+            request.frames.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(request.frames.len());
+    for frame in &request.frames {
+        let batched = if frame.dims().len() == 4 {
+            frame.clone()
+        } else {
+            let mut dims = vec![1];
+            dims.extend_from_slice(frame.dims());
+            frame.reshape(&dims)?
+        };
+        if batched.dims()[0] != 1 {
+            return Err(ServeError::BadRequest(format!(
+                "request {}: frames must be batch-1, got dims {:?}",
+                request.id,
+                frame.dims()
+            )));
+        }
+        match &frame_dims {
+            Some(dims) if *dims != batched.dims() => {
+                return Err(ServeError::BadRequest(format!(
+                    "request {}: frame dims {:?} disagree with the server's {:?}",
+                    request.id,
+                    batched.dims(),
+                    dims
+                )));
+            }
+            Some(_) => {}
+            None => *frame_dims = Some(batched.dims().to_vec()),
+        }
+        out.push(batched);
+    }
+    Ok(out)
 }
 
 /// A request paired with its arrival time on the server clock.

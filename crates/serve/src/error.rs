@@ -10,6 +10,13 @@ pub enum ServeError {
     BadRequest(String),
     /// The inference engine underneath failed.
     Core(dtsnn_core::CoreError),
+    /// An internal bookkeeping invariant was violated (a bug, not a caller
+    /// error) — returned instead of panicking so a supervised server loop
+    /// can retire the worker without aborting the process.
+    Internal(String),
+    /// An injected worker fault (the deterministic chaos plane). Retryable:
+    /// the step consumed service time but no row state changed.
+    Fault(String),
 }
 
 impl fmt::Display for ServeError {
@@ -18,6 +25,8 @@ impl fmt::Display for ServeError {
             ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Core(e) => write!(f, "inference failure: {e}"),
+            ServeError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            ServeError::Fault(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

@@ -23,6 +23,14 @@
 //!   load generator (Poisson and bursty on/off arrivals) and the
 //!   p50/p99/goodput/timeout report behind
 //!   `bench-results/serving_load.json`.
+//! - [`Cluster`] — fault-tolerant sharding: a router dispatching requests
+//!   across N workers under a seeded, bitwise-reproducible
+//!   [`FaultSchedule`] (crashes, stalls, slowdowns, transient step
+//!   errors), with supervised recovery (requeue under retry budgets and
+//!   exponential backoff), deadline-aware hedging for stragglers,
+//!   exactly-once completion accounting, and a [`BrownoutConfig`]
+//!   degradation ladder (θ pressure → timestep cap → priority shedding)
+//!   behind `bench-results/serving_chaos.json`.
 //!
 //! # The row-insertion invariant
 //!
@@ -40,18 +48,22 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod cluster;
 mod controller;
 mod engine;
 mod error;
+mod faults;
 mod loadgen;
 
 pub use clock::{Clock, RealClock, SimClock};
+pub use cluster::{BrownoutConfig, Cluster, ClusterConfig, ClusterEvent, ClusterStats};
 pub use controller::ThetaController;
 pub use engine::{
     replay_trace, run_channel, CompletionStatus, Request, RequestOutcome, Server, ServerConfig,
     ServerStats, ServiceModel, StepRecord, TracedRequest,
 };
 pub use error::ServeError;
+pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
 pub use loadgen::{generate_arrivals, summarize, ArrivalProcess, LoadReport};
 
 /// Crate-local result alias.

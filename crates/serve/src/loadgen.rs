@@ -110,14 +110,27 @@ pub struct LoadReport {
     pub timed_out: usize,
     /// Requests refused by admission control.
     pub rejected: usize,
+    /// Requests that exhausted their cluster retry budget (always 0 for a
+    /// single server).
+    pub failed: usize,
     /// Median completion latency in nanoseconds (nearest-rank, completed
     /// requests only); 0 when nothing completed.
     pub p50_latency_nanos: u64,
     /// 99th-percentile completion latency in nanoseconds (nearest-rank).
     pub p99_latency_nanos: u64,
+    /// Deadline-censored median latency: completed requests at their true
+    /// latency *and* timed-out requests counted at their deadline budget —
+    /// the survivor-bias fix. A request that blew its deadline spent at
+    /// least its whole budget waiting, so the censored tail can only be
+    /// equal to or worse than the completed-only tail. Failed and rejected
+    /// requests carry no meaningful latency and stay excluded.
+    pub censored_p50_latency_nanos: u64,
+    /// Deadline-censored 99th-percentile latency (see
+    /// [`LoadReport::censored_p50_latency_nanos`]).
+    pub censored_p99_latency_nanos: u64,
     /// Completed requests per second of elapsed clock time.
     pub goodput_per_sec: f64,
-    /// `(timed_out + rejected) / offered`.
+    /// `(timed_out + rejected + failed) / offered`.
     pub failure_rate: f64,
     /// Mean timesteps used by completed requests (the early-exit saving).
     pub avg_timesteps: f64,
@@ -137,22 +150,36 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 /// Summarizes a run's outcomes into a [`LoadReport`].
 pub fn summarize(outcomes: &[RequestOutcome], elapsed_nanos: u64) -> LoadReport {
     let mut latencies: Vec<u64> = Vec::new();
+    let mut censored: Vec<u64> = Vec::new();
     let mut completed = 0usize;
     let mut timed_out = 0usize;
     let mut rejected = 0usize;
+    let mut failed = 0usize;
     let mut timestep_sum = 0usize;
     for o in outcomes {
         match o.status {
             CompletionStatus::Completed => {
                 completed += 1;
                 latencies.push(o.latency_nanos());
+                censored.push(o.latency_nanos());
                 timestep_sum += o.timesteps_used;
             }
-            CompletionStatus::TimedOut => timed_out += 1,
+            CompletionStatus::TimedOut => {
+                timed_out += 1;
+                // censor at the deadline: the request observably waited its
+                // whole budget. Outcomes without a recorded deadline (a
+                // server predating the field) fall back to true latency.
+                censored.push(
+                    o.deadline_nanos
+                        .map_or(o.latency_nanos(), |d| d.saturating_sub(o.arrival_nanos)),
+                );
+            }
             CompletionStatus::Rejected => rejected += 1,
+            CompletionStatus::Failed => failed += 1,
         }
     }
     latencies.sort_unstable();
+    censored.sort_unstable();
     let offered = outcomes.len();
     let elapsed_secs = elapsed_nanos as f64 / NANOS_PER_SEC;
     LoadReport {
@@ -160,11 +187,14 @@ pub fn summarize(outcomes: &[RequestOutcome], elapsed_nanos: u64) -> LoadReport 
         completed,
         timed_out,
         rejected,
+        failed,
         p50_latency_nanos: percentile(&latencies, 50.0),
         p99_latency_nanos: percentile(&latencies, 99.0),
+        censored_p50_latency_nanos: percentile(&censored, 50.0),
+        censored_p99_latency_nanos: percentile(&censored, 99.0),
         goodput_per_sec: if elapsed_secs > 0.0 { completed as f64 / elapsed_secs } else { 0.0 },
         failure_rate: if offered > 0 {
-            (timed_out + rejected) as f64 / offered as f64
+            (timed_out + rejected + failed) as f64 / offered as f64
         } else {
             0.0
         },
@@ -188,6 +218,7 @@ mod tests {
             accumulated_logits: Vec::new(),
             arrival_nanos: 100,
             finish_nanos: 100 + latency,
+            deadline_nanos: None,
         }
     }
 
@@ -268,6 +299,47 @@ mod tests {
         assert!((r.goodput_per_sec - 3.0).abs() < 1e-9);
         assert!((r.failure_rate - 0.4).abs() < 1e-9);
         assert!((r.avg_timesteps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_censors_timed_out_latency_at_the_deadline() {
+        // the PR 7 survivor bias: completed-only p99 ignores the requests
+        // that blew their budget entirely. Three completions at 10/20/30 ns
+        // plus one timeout with a 50 ns budget must leave the completed-only
+        // percentiles untouched while the censored tail picks up the 50.
+        let mut outcomes = vec![
+            outcome(0, CompletionStatus::Completed, 10, 1),
+            outcome(1, CompletionStatus::Completed, 20, 2),
+            outcome(2, CompletionStatus::Completed, 30, 3),
+        ];
+        let mut late = outcome(3, CompletionStatus::TimedOut, 75, 4);
+        late.deadline_nanos = Some(late.arrival_nanos + 50);
+        outcomes.push(late);
+        // a cluster-level retry-budget failure counts against the failure
+        // rate but contributes no latency sample to either family
+        outcomes.push(outcome(4, CompletionStatus::Failed, 0, 0));
+        let r = summarize(&outcomes, 1_000_000_000);
+        assert_eq!((r.offered, r.completed, r.timed_out, r.failed), (5, 3, 1, 1));
+        assert_eq!((r.p50_latency_nanos, r.p99_latency_nanos), (20, 30));
+        assert_eq!(
+            (r.censored_p50_latency_nanos, r.censored_p99_latency_nanos),
+            (20, 50),
+            "the timed-out request must appear at its 50 ns deadline budget"
+        );
+        assert!((r.failure_rate - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn censored_stats_fall_back_to_latency_without_a_deadline() {
+        // outcomes predating the deadline field (deadline_nanos: None) use
+        // their observed latency rather than being dropped
+        let outcomes = vec![
+            outcome(0, CompletionStatus::Completed, 10, 1),
+            outcome(1, CompletionStatus::TimedOut, 40, 2),
+        ];
+        let r = summarize(&outcomes, 1_000);
+        assert_eq!(r.censored_p99_latency_nanos, 40);
+        assert_eq!(r.p99_latency_nanos, 10);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Chaos property suite: under *any* seeded fault schedule — crashes,
+//! stalls, slowdowns, transient step errors, or all of them at once —
+//! every admitted request terminates exactly once, the stats ledger
+//! balances, and the whole run is bitwise reproducible across repeats and
+//! `DTSNN_THREADS` settings.
+
+use dtsnn_serve::{
+    BrownoutConfig, Cluster, ClusterConfig, ClusterEvent, CompletionStatus, FaultEvent, FaultKind,
+    FaultSchedule, FaultSpec, Request, RequestOutcome, ServerConfig, ServiceModel,
+    ThetaController, TracedRequest,
+};
+use dtsnn_snn::{Flatten, Layer, LifConfig, LifNeuron, Linear, Snn};
+use dtsnn_tensor::{parallel, Tensor, TensorRng};
+use std::collections::HashMap;
+
+const MAX_T: usize = 6;
+
+fn tiny_net(seed: u64) -> Snn {
+    let mut rng = TensorRng::seed_from(seed);
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(4, 8, &mut rng)),
+        Box::new(LifNeuron::new(LifConfig::default())),
+        Box::new(Linear::new(8, 3, &mut rng)),
+    ];
+    Snn::from_layers(layers)
+}
+
+fn frame(rng: &mut TensorRng) -> Tensor {
+    Tensor::randn(&[1, 2, 2], 0.5, 0.5, rng)
+}
+
+/// `n` requests at 700 ns spacing; every third carries a deadline so fault
+/// runs exercise the TimedOut path too.
+fn trace(n: usize, seed: u64, deadline: Option<u64>) -> Vec<TracedRequest> {
+    let mut rng = TensorRng::seed_from(seed);
+    (0..n)
+        .map(|i| TracedRequest {
+            at_nanos: i as u64 * 700,
+            request: Request {
+                id: i as u64,
+                frames: vec![frame(&mut rng)],
+                deadline_nanos: if i % 3 == 0 { deadline } else { None },
+                priority: 0,
+            },
+        })
+        .collect()
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        max_timesteps: MAX_T,
+        slots: 2,
+        queue_capacity: 64,
+        theta: ThetaController::fixed(0.986).unwrap(),
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 100 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    }
+}
+
+fn cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        server: server_config(),
+        queue_capacity: 64,
+        retry_budget: 3,
+        backoff_base_nanos: 500,
+        stall_timeout_nanos: Some(10_000),
+        hedge_after_nanos: Some(30_000),
+        max_consecutive_faults: 2,
+        brownout: BrownoutConfig::disabled(),
+        record_events: true,
+    }
+}
+
+/// The tentpole invariant: every admitted request terminates exactly once,
+/// and the stats ledger balances.
+fn assert_exactly_once(cluster: &mut Cluster<dtsnn_serve::SimClock>, n: usize) -> Vec<RequestOutcome> {
+    let stats = cluster.stats();
+    let outcomes = cluster.take_outcomes();
+    assert_eq!(stats.submitted, n as u64);
+    assert_eq!(
+        outcomes.len(),
+        n,
+        "every admitted request needs exactly one outcome: {stats:?}"
+    );
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for o in &outcomes {
+        *seen.entry(o.id).or_default() += 1;
+    }
+    for (id, count) in &seen {
+        assert_eq!(*count, 1, "request {id} terminated {count} times");
+    }
+    assert_eq!(
+        stats.rejected + stats.shed + stats.completed + stats.expired + stats.failed,
+        stats.submitted,
+        "the termination ledger must balance: {stats:?}"
+    );
+    outcomes
+}
+
+fn run_chaos(schedule: FaultSchedule, workers: usize, n: usize) -> Cluster<dtsnn_serve::SimClock> {
+    let mut cluster =
+        Cluster::simulated(tiny_net(42), cluster_config(), workers, schedule).unwrap();
+    cluster.run_trace(&trace(n, 0xC4A0, Some(25_000))).unwrap();
+    cluster
+}
+
+#[test]
+fn every_request_terminates_exactly_once_under_each_fault_kind_and_mixed() {
+    let horizon = 40_000u64;
+    let base = FaultSpec {
+        crash_per_sec: 0.0,
+        restart_after_nanos: 4_000,
+        stall_per_sec: 0.0,
+        mean_stall_nanos: 5_000,
+        slowdown_per_sec: 0.0,
+        slowdown_factor: 4.0,
+        mean_slowdown_nanos: 8_000,
+        transient_per_sec: 0.0,
+        transient_count: 2,
+    };
+    // ~1 event per 8 µs per worker per enabled kind
+    let rate = 125_000.0;
+    let specs: [(&str, FaultSpec); 5] = [
+        ("crash", FaultSpec { crash_per_sec: rate, ..base }),
+        ("stall", FaultSpec { stall_per_sec: rate, ..base }),
+        ("slowdown", FaultSpec { slowdown_per_sec: rate, ..base }),
+        ("transient", FaultSpec { transient_per_sec: rate, ..base }),
+        (
+            "mixed",
+            FaultSpec {
+                crash_per_sec: rate,
+                stall_per_sec: rate,
+                slowdown_per_sec: rate,
+                transient_per_sec: rate,
+                ..base
+            },
+        ),
+    ];
+    for (name, spec) in specs {
+        let mut rng = TensorRng::seed_from(0xFA17 ^ name.len() as u64);
+        let schedule = FaultSchedule::generate(&spec, 3, horizon, &mut rng).unwrap();
+        assert!(!schedule.is_empty(), "{name}: the schedule must inject something");
+        let mut cluster = run_chaos(schedule, 3, 24);
+        let stats = cluster.stats();
+        let outcomes = assert_exactly_once(&mut cluster, 24);
+        assert!(
+            outcomes.iter().any(|o| o.status == CompletionStatus::Completed),
+            "{name}: some requests must still complete: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn chaos_runs_are_bitwise_reproducible_across_runs_and_thread_counts() {
+    let spec = FaultSpec {
+        crash_per_sec: 100_000.0,
+        restart_after_nanos: 4_000,
+        stall_per_sec: 100_000.0,
+        mean_stall_nanos: 5_000,
+        slowdown_per_sec: 100_000.0,
+        slowdown_factor: 4.0,
+        mean_slowdown_nanos: 8_000,
+        transient_per_sec: 100_000.0,
+        transient_count: 2,
+    };
+    let run = || {
+        let mut rng = TensorRng::seed_from(0xDE7E);
+        let schedule = FaultSchedule::generate(&spec, 3, 40_000, &mut rng).unwrap();
+        let mut cluster = run_chaos(schedule, 3, 24);
+        let stats = cluster.stats();
+        (cluster.take_outcomes(), cluster.take_events(), stats)
+    };
+    let (base_outcomes, base_events, base_stats) = parallel::with_threads(1, run);
+    for threads in [1usize, 2, 4] {
+        let (outcomes, events, stats) = parallel::with_threads(threads, run);
+        assert_eq!(stats, base_stats, "stats drifted at {threads} threads");
+        assert_eq!(events, base_events, "event stream drifted at {threads} threads");
+        assert_eq!(outcomes.len(), base_outcomes.len());
+        for (a, b) in outcomes.iter().zip(&base_outcomes) {
+            assert_eq!(a.id, b.id, "termination order drifted at {threads} threads");
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.prediction, b.prediction);
+            assert_eq!((a.arrival_nanos, a.finish_nanos), (b.arrival_nanos, b.finish_nanos));
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.scores), bits(&b.scores));
+            assert_eq!(bits(&a.accumulated_logits), bits(&b.accumulated_logits));
+        }
+    }
+}
+
+#[test]
+fn a_crash_requeues_in_flight_work_and_the_retry_completes() {
+    // one crash mid-run, quick restart, generous deadlines → everything
+    // still completes, through the requeue path
+    let schedule = FaultSchedule::from_events(vec![FaultEvent {
+        at_nanos: 2_500,
+        worker: 0,
+        kind: FaultKind::Crash { restart_after_nanos: 3_000 },
+    }])
+    .unwrap();
+    // θ too low for early exits: windows run all 6 steps, so the crash is
+    // guaranteed to catch rows mid-window instead of an idle gap
+    let mut config = cluster_config();
+    config.server.theta = ThetaController::fixed(0.05).unwrap();
+    let mut cluster = Cluster::simulated(tiny_net(42), config, 2, schedule).unwrap();
+    cluster.run_trace(&trace(12, 0xBEEF, None)).unwrap();
+    let stats = cluster.stats();
+    let outcomes = assert_exactly_once(&mut cluster, 12);
+    assert_eq!(stats.worker_crashes, 1, "{stats:?}");
+    assert_eq!(stats.worker_restarts, 1, "{stats:?}");
+    assert!(stats.requeues > 0, "a mid-run crash must requeue in-flight rows: {stats:?}");
+    assert!(
+        outcomes.iter().all(|o| o.status == CompletionStatus::Completed),
+        "deadline-free retries must complete everything: {stats:?}"
+    );
+}
+
+#[test]
+fn an_exhausted_retry_budget_terminates_the_request_as_failed() {
+    // a single worker that crashes on every dispatch attempt: with
+    // retry_budget 1 the victim fails after its second loss
+    let mut config = cluster_config();
+    config.retry_budget = 1;
+    config.backoff_base_nanos = 100;
+    let events = (0..6)
+        .map(|k| FaultEvent {
+            at_nanos: 1_500 + k * 1_500,
+            worker: 0,
+            kind: FaultKind::Crash { restart_after_nanos: 500 },
+        })
+        .collect();
+    let schedule = FaultSchedule::from_events(events).unwrap();
+    let mut cluster = Cluster::simulated(tiny_net(42), config, 1, schedule).unwrap();
+    cluster.run_trace(&trace(4, 0xFA11, None)).unwrap();
+    let stats = cluster.stats();
+    let outcomes = assert_exactly_once(&mut cluster, 4);
+    assert!(stats.failed > 0, "repeated crashes must exhaust a budget of 1: {stats:?}");
+    for o in outcomes.iter().filter(|o| o.status == CompletionStatus::Failed) {
+        assert_eq!(o.prediction, None);
+        assert_eq!(o.timesteps_used, 0);
+    }
+}
+
+#[test]
+fn a_stalled_worker_is_detected_and_its_rows_are_hedged_to_completion() {
+    // worker 0 freezes for 60 µs — far past the 10 µs stall timeout. The
+    // supervisor must flag it and hedge its rows onto worker 1; when the
+    // stalled worker eventually wakes and retires its stale copies, the
+    // duplicates are suppressed.
+    let schedule = FaultSchedule::from_events(vec![FaultEvent {
+        at_nanos: 2_000,
+        worker: 0,
+        kind: FaultKind::Stall { duration_nanos: 60_000 },
+    }])
+    .unwrap();
+    let mut cluster =
+        Cluster::simulated(tiny_net(42), cluster_config(), 2, schedule).unwrap();
+    cluster.run_trace(&trace(8, 0x57A1, None)).unwrap();
+    let stats = cluster.stats();
+    let outcomes = assert_exactly_once(&mut cluster, 8);
+    assert!(stats.stalls_detected >= 1, "{stats:?}");
+    assert!(stats.hedges >= 1, "stall suspicion must hedge the stuck rows: {stats:?}");
+    assert!(
+        stats.duplicates_suppressed >= 1,
+        "the woken worker's stale copies must be suppressed, not double-counted: {stats:?}"
+    );
+    assert!(outcomes.iter().all(|o| o.status == CompletionStatus::Completed), "{stats:?}");
+}
+
+#[test]
+fn transient_fault_loops_back_off_and_eventually_recycle_the_worker() {
+    // a burst of 8 injected step errors against max_consecutive_faults 2:
+    // the worker backs off twice, then the supervisor recycles it and the
+    // requeued rows complete on the fresh engine
+    let schedule = FaultSchedule::from_events(vec![FaultEvent {
+        at_nanos: 2_000,
+        worker: 0,
+        kind: FaultKind::TransientErrors { count: 8 },
+    }])
+    .unwrap();
+    let mut cluster =
+        Cluster::simulated(tiny_net(42), cluster_config(), 1, schedule).unwrap();
+    cluster.run_trace(&trace(6, 0x7EA4, None)).unwrap();
+    let stats = cluster.stats();
+    let events = cluster.take_events();
+    let outcomes = assert_exactly_once(&mut cluster, 6);
+    assert!(stats.transient_faults >= 3, "{stats:?}");
+    assert!(
+        events.iter().any(|e| matches!(e, ClusterEvent::WorkerRecycled { .. })),
+        "a fault loop past the threshold must recycle the worker: {stats:?}"
+    );
+    assert!(outcomes.iter().all(|o| o.status == CompletionStatus::Completed), "{stats:?}");
+}
+
+#[test]
+fn the_brownout_ladder_caps_timesteps_and_sheds_only_low_priority_work() {
+    // flood a single slow worker so the backlog climbs through every rung
+    let mut config = cluster_config();
+    config.stall_timeout_nanos = None;
+    config.hedge_after_nanos = None;
+    config.server.slots = 1;
+    config.server.theta = ThetaController::fixed(0.05).unwrap(); // never exit early
+    config.brownout = BrownoutConfig {
+        theta_pressure_depth: 2,
+        cap_depth: 4,
+        timestep_cap: 2,
+        shed_depth: 8,
+        shed_below_priority: 1,
+    };
+    let mut rng = TensorRng::seed_from(0xB40);
+    let burst: Vec<TracedRequest> = (0..16)
+        .map(|i| TracedRequest {
+            at_nanos: 0,
+            request: Request {
+                id: i as u64,
+                frames: vec![frame(&mut rng)],
+                deadline_nanos: None,
+                // odd ids are high priority and must survive shedding
+                priority: (i % 2) as u8,
+            },
+        })
+        .collect();
+    let mut cluster =
+        Cluster::simulated(tiny_net(42), config, 1, FaultSchedule::none()).unwrap();
+    cluster.run_trace(&burst).unwrap();
+    let stats = cluster.stats();
+    let outcomes = assert_exactly_once(&mut cluster, 16);
+    assert_eq!(stats.max_brownout_level, 3, "the flood must climb the full ladder: {stats:?}");
+    assert!(stats.shed > 0, "level 3 must shed: {stats:?}");
+    for o in &outcomes {
+        if o.status == CompletionStatus::Rejected {
+            assert_eq!(o.id % 2, 0, "only priority-0 requests may be shed, lost {}", o.id);
+        }
+    }
+    // the cap rung: with θ too low to ever exit early, any completion in
+    // under the full window can only come from the brownout timestep cap
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| o.status == CompletionStatus::Completed && o.timesteps_used == 2),
+        "deep-backlog completions must be capped at 2 timesteps"
+    );
+    assert!(
+        outcomes.iter().all(|o| o.timesteps_used <= MAX_T),
+        "the cap may shrink windows, never grow them"
+    );
+}
+
+#[test]
+fn all_workers_dead_with_no_restart_fail_the_backlog_instead_of_hanging() {
+    // both workers crash permanently (restart far beyond any work), budget
+    // 0 → the drain must fail-stop every request, not spin or hang
+    let mut config = cluster_config();
+    config.retry_budget = 0;
+    let events = vec![
+        FaultEvent {
+            at_nanos: 1_000,
+            worker: 0,
+            kind: FaultKind::Crash { restart_after_nanos: u64::MAX / 2 },
+        },
+        FaultEvent {
+            at_nanos: 1_000,
+            worker: 1,
+            kind: FaultKind::Crash { restart_after_nanos: u64::MAX / 2 },
+        },
+    ];
+    let schedule = FaultSchedule::from_events(events).unwrap();
+    let mut cluster = Cluster::simulated(tiny_net(42), config, 2, schedule).unwrap();
+    cluster.run_trace(&trace(6, 0xDEAD, None)).unwrap();
+    let stats = cluster.stats();
+    let outcomes = assert_exactly_once(&mut cluster, 6);
+    assert!(stats.failed > 0, "{stats:?}");
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| matches!(o.status, CompletionStatus::Completed | CompletionStatus::Failed)),
+        "{stats:?}"
+    );
+}

@@ -1,0 +1,236 @@
+//! Sharded-serving parity: with no faults injected, the cluster router
+//! must be a transparent wrapper — a 1-worker cluster reproduces a single
+//! [`Server`] bitwise (outcomes *and* step-level scheduling decisions),
+//! and an N-worker cluster still matches per-request solo runs bitwise.
+//!
+//! Arrival stamps are the one documented divergence: the baseline engine
+//! stamps arrivals with the post-step clock (which can overshoot the trace
+//! time while a step is in flight), while the cluster stamps them on its
+//! virtual-time cursor. Everything downstream of admission — step start
+//! times, batch compositions, θ, logits, predictions, finish times — must
+//! agree exactly, so the comparisons here skip `arrival_nanos` only.
+
+use dtsnn_core::{DynamicInference, ExitPolicy};
+use dtsnn_serve::{
+    replay_trace, BrownoutConfig, Cluster, ClusterConfig, ClusterEvent, CompletionStatus,
+    FaultSchedule, Request, RequestOutcome, Server, ServerConfig, ServiceModel, SimClock,
+    StepRecord, ThetaController, TracedRequest,
+};
+use dtsnn_snn::{Flatten, Layer, LifConfig, LifNeuron, Linear, Snn};
+use dtsnn_tensor::{parallel, Tensor, TensorRng};
+
+const THETA_MIXED: f32 = 0.986;
+const MAX_T: usize = 6;
+
+fn tiny_net(seed: u64) -> Snn {
+    let mut rng = TensorRng::seed_from(seed);
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(4, 8, &mut rng)),
+        Box::new(LifNeuron::new(LifConfig::default())),
+        Box::new(Linear::new(8, 3, &mut rng)),
+    ];
+    Snn::from_layers(layers)
+}
+
+fn frame(rng: &mut TensorRng) -> Tensor {
+    Tensor::randn(&[1, 2, 2], 0.5, 0.5, rng)
+}
+
+fn staggered_trace(n: usize, seed: u64) -> Vec<TracedRequest> {
+    let mut rng = TensorRng::seed_from(seed);
+    (0..n)
+        .map(|i| TracedRequest {
+            at_nanos: i as u64 * 700,
+            request: Request {
+                id: i as u64,
+                frames: vec![frame(&mut rng)],
+                deadline_nanos: None,
+                priority: 0,
+            },
+        })
+        .collect()
+}
+
+fn server_config(theta: ThetaController) -> ServerConfig {
+    ServerConfig {
+        max_timesteps: MAX_T,
+        slots: 2,
+        queue_capacity: 64,
+        theta,
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 100 },
+        default_deadline_nanos: None,
+        record_schedule: true,
+    }
+}
+
+/// A no-fault cluster config that keeps the supervisor out of the way:
+/// hedging and stall detection off, brownout disabled.
+fn transparent_cluster_config(theta: ThetaController) -> ClusterConfig {
+    ClusterConfig {
+        server: server_config(theta),
+        queue_capacity: 64,
+        retry_budget: 3,
+        backoff_base_nanos: 1000,
+        stall_timeout_nanos: None,
+        hedge_after_nanos: None,
+        max_consecutive_faults: 3,
+        brownout: BrownoutConfig::disabled(),
+        record_events: true,
+    }
+}
+
+fn run_baseline(trace: &[TracedRequest], theta: ThetaController) -> (Vec<RequestOutcome>, Vec<StepRecord>) {
+    let mut server = Server::new(tiny_net(42), server_config(theta), SimClock::new()).unwrap();
+    replay_trace(&mut server, trace).unwrap();
+    (server.take_outcomes(), server.take_schedule())
+}
+
+fn run_cluster(
+    trace: &[TracedRequest],
+    theta: ThetaController,
+    workers: usize,
+) -> (Vec<RequestOutcome>, Vec<ClusterEvent>) {
+    let mut cluster = Cluster::simulated(
+        tiny_net(42),
+        transparent_cluster_config(theta),
+        workers,
+        FaultSchedule::none(),
+    )
+    .unwrap();
+    cluster.run_trace(trace).unwrap();
+    let stats = cluster.stats();
+    assert_eq!(stats.submitted, trace.len() as u64);
+    assert_eq!(stats.completed, trace.len() as u64, "no-fault runs complete everything: {stats:?}");
+    assert_eq!(stats.requeues + stats.hedges + stats.shed + stats.failed, 0, "{stats:?}");
+    (cluster.take_outcomes(), cluster.take_events())
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Everything except `arrival_nanos` (see module docs).
+fn assert_outcomes_match(cluster: &[RequestOutcome], baseline: &[RequestOutcome]) {
+    assert_eq!(cluster.len(), baseline.len());
+    for (c, b) in cluster.iter().zip(baseline) {
+        assert_eq!(c.id, b.id, "termination order diverged");
+        assert_eq!(c.status, b.status, "request {}", c.id);
+        assert_eq!(c.prediction, b.prediction, "request {}", c.id);
+        assert_eq!(c.timesteps_used, b.timesteps_used, "request {}", c.id);
+        assert_eq!(c.exited_early, b.exited_early, "request {}", c.id);
+        assert_eq!(c.finish_nanos, b.finish_nanos, "request {}", c.id);
+        assert_eq!(bits(&c.scores), bits(&b.scores), "request {} scores drifted", c.id);
+        assert_eq!(
+            bits(&c.accumulated_logits),
+            bits(&b.accumulated_logits),
+            "request {} logits drifted",
+            c.id
+        );
+    }
+}
+
+fn step_records(events: &[ClusterEvent]) -> Vec<StepRecord> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            ClusterEvent::Step { record, .. } => Some(record.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn a_one_worker_no_fault_cluster_is_bitwise_identical_to_a_single_server() {
+    let trace = staggered_trace(8, 0x5EED);
+    for theta in [
+        ThetaController::fixed(THETA_MIXED).unwrap(),
+        // dynamic θ: the pressure hint must reproduce the baseline's
+        // post-admission queue depth exactly, or θ (and every exit
+        // decision after it) drifts
+        ThetaController::new(0.7, THETA_MIXED, 3.0).unwrap(),
+    ] {
+        let (base_outcomes, base_schedule) = run_baseline(&trace, theta);
+        let (outcomes, events) = run_cluster(&trace, theta, 1);
+        assert_outcomes_match(&outcomes, &base_outcomes);
+        // scheduling decisions are part of the contract: same step start
+        // times, same θ, same batch compositions, admissions, retirements
+        let records = step_records(&events);
+        assert_eq!(records.len(), base_schedule.len(), "step count diverged");
+        for (c, b) in records.iter().zip(&base_schedule) {
+            assert_eq!(c.start_nanos, b.start_nanos);
+            assert_eq!(c.theta.to_bits(), b.theta.to_bits());
+            assert_eq!(c.rows, b.rows);
+            assert_eq!(c.admitted, b.admitted);
+            assert_eq!(c.retired, b.retired);
+        }
+    }
+}
+
+#[test]
+fn cluster_runs_are_reproducible_across_runs_and_thread_counts() {
+    let trace = staggered_trace(10, 0xCAFE);
+    let theta = ThetaController::new(0.7, THETA_MIXED, 3.0).unwrap();
+    let (base_outcomes, base_events) = parallel::with_threads(1, || run_cluster(&trace, theta, 3));
+    for threads in [1usize, 2, 4] {
+        let (outcomes, events) = parallel::with_threads(threads, || run_cluster(&trace, theta, 3));
+        assert_outcomes_match(&outcomes, &base_outcomes);
+        for (c, b) in outcomes.iter().zip(&base_outcomes) {
+            assert_eq!(c.arrival_nanos, b.arrival_nanos, "request {}", c.id);
+        }
+        assert_eq!(events, base_events, "event stream drifted at {threads} threads");
+    }
+}
+
+#[test]
+fn four_worker_outcomes_match_solo_runs_bitwise() {
+    let trace = staggered_trace(12, 0xD15C);
+    let (outcomes, _) = run_cluster(&trace, ThetaController::fixed(THETA_MIXED).unwrap(), 4);
+    assert_eq!(outcomes.len(), trace.len());
+    for tr in &trace {
+        let outcome = outcomes
+            .iter()
+            .find(|o| o.id == tr.request.id)
+            .unwrap_or_else(|| panic!("request {} has no outcome", tr.request.id));
+        let mut net = tiny_net(42);
+        let runner =
+            DynamicInference::new(ExitPolicy::entropy(THETA_MIXED).unwrap(), MAX_T).unwrap();
+        let solo = runner.run_traced(&mut net, &tr.request.frames).unwrap();
+        assert_eq!(outcome.status, CompletionStatus::Completed, "request {}", outcome.id);
+        assert_eq!(outcome.prediction, Some(solo.outcome.prediction), "request {}", outcome.id);
+        assert_eq!(outcome.timesteps_used, solo.outcome.timesteps_used, "request {}", outcome.id);
+        assert_eq!(outcome.exited_early, solo.outcome.exited_early, "request {}", outcome.id);
+        assert_eq!(
+            bits(&outcome.scores),
+            bits(&solo.outcome.scores),
+            "request {} scores drifted",
+            outcome.id
+        );
+        let acc = &solo.per_timestep.last().unwrap().accumulated_logits;
+        assert_eq!(
+            bits(&outcome.accumulated_logits),
+            bits(acc),
+            "request {} logits drifted",
+            outcome.id
+        );
+    }
+}
+
+#[test]
+fn duplicate_request_ids_are_refused() {
+    let theta = ThetaController::fixed(THETA_MIXED).unwrap();
+    let mut cluster = Cluster::simulated(
+        tiny_net(42),
+        transparent_cluster_config(theta),
+        2,
+        FaultSchedule::none(),
+    )
+    .unwrap();
+    let mut rng = TensorRng::seed_from(7);
+    let request =
+        Request { id: 9, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 };
+    assert!(cluster.submit(request.clone()).unwrap());
+    assert!(cluster.submit(request).is_err(), "exactly-once accounting needs unique ids");
+    cluster.run_until_idle().unwrap();
+    assert_eq!(cluster.take_outcomes().len(), 1);
+}

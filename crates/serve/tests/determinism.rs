@@ -37,7 +37,7 @@ fn staggered_trace(n: usize, seed: u64) -> Vec<TracedRequest> {
     (0..n)
         .map(|i| TracedRequest {
             at_nanos: i as u64 * 700,
-            request: Request { id: i as u64, frames: vec![frame(&mut rng)], deadline_nanos: None },
+            request: Request { id: i as u64, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 },
         })
         .collect()
 }
@@ -184,7 +184,7 @@ fn a_request_spliced_mid_window_is_bitwise_identical_to_running_it_alone() {
 #[test]
 fn a_solo_request_through_the_server_matches_run_traced() {
     let mut rng = TensorRng::seed_from(99);
-    let request = Request { id: 7, frames: vec![frame(&mut rng)], deadline_nanos: None };
+    let request = Request { id: 7, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 };
     let mut server = Server::new(tiny_net(42), config(4), SimClock::new()).unwrap();
     assert!(server.submit(request.clone()).unwrap());
     server.run_until_idle().unwrap();
@@ -198,11 +198,11 @@ fn per_timestep_frame_sequences_ride_through_the_window() {
     // event-style input: one frame per timestep; row r consumes frames[r.t]
     let mut rng = TensorRng::seed_from(3);
     let frames: Vec<Tensor> = (0..MAX_T).map(|_| frame(&mut rng)).collect();
-    let request = Request { id: 0, frames: frames.clone(), deadline_nanos: None };
+    let request = Request { id: 0, frames: frames.clone(), deadline_nanos: None, priority: 0 };
     let mut server = Server::new(tiny_net(42), config(2), SimClock::new()).unwrap();
     // a second, static request keeps the window occupied so the sequenced
     // one is spliced mid-window at a nonzero offset
-    let filler = Request { id: 1, frames: vec![frame(&mut rng)], deadline_nanos: None };
+    let filler = Request { id: 1, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 };
     assert!(server.submit(filler).unwrap());
     server.step().unwrap();
     assert!(server.submit(request.clone()).unwrap());

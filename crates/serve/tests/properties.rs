@@ -5,7 +5,7 @@
 //! or rejected.
 
 use dtsnn_serve::{
-    replay_trace, CompletionStatus, Request, Server, ServerConfig, ServiceModel, SimClock,
+    replay_trace, Clock, CompletionStatus, Request, Server, ServerConfig, ServiceModel, SimClock,
     ThetaController, TracedRequest,
 };
 use dtsnn_snn::{Flatten, Layer, LifConfig, LifNeuron, Linear, Snn};
@@ -39,7 +39,7 @@ fn adversarial_trace(n: usize, seed: u64, deadline: Option<u64>) -> Vec<TracedRe
         for _ in 0..burst.min(n - trace.len()) {
             trace.push(TracedRequest {
                 at_nanos: at,
-                request: Request { id, frames: vec![frame(&mut rng)], deadline_nanos: deadline },
+                request: Request { id, frames: vec![frame(&mut rng)], deadline_nanos: deadline, priority: 0 },
             });
             id += 1;
         }
@@ -166,6 +166,9 @@ fn no_request_is_ever_silently_dropped() {
                 assert_eq!(o.timesteps_used, 0);
                 assert_eq!(o.prediction, None);
             }
+            CompletionStatus::Failed => {
+                panic!("a single server never exhausts a retry budget: {o:?}")
+            }
         }
     }
 }
@@ -188,11 +191,11 @@ fn queued_requests_past_their_deadline_expire_without_running() {
     // first request occupies the single slot for up to 60 µs; the second's
     // 5 µs budget expires while it waits in the queue
     assert!(server
-        .submit(Request { id: 0, frames: vec![frame(&mut rng)], deadline_nanos: None })
+        .submit(Request { id: 0, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 })
         .unwrap());
     server.step().unwrap();
     assert!(server
-        .submit(Request { id: 1, frames: vec![frame(&mut rng)], deadline_nanos: Some(5_000) })
+        .submit(Request { id: 1, frames: vec![frame(&mut rng)], deadline_nanos: Some(5_000), priority: 0 })
         .unwrap());
     server.run_until_idle().unwrap();
     let outcomes = server.take_outcomes();
@@ -220,7 +223,7 @@ fn admission_control_rejects_only_past_queue_capacity() {
     // without stepping, the queue alone bounds admissions
     for id in 0..5u64 {
         let accepted = server
-            .submit(Request { id, frames: vec![frame(&mut rng)], deadline_nanos: None })
+            .submit(Request { id, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 })
             .unwrap();
         assert_eq!(accepted, id < 3, "queue of 3 must refuse the 4th submission (id {id})");
     }
@@ -240,6 +243,94 @@ fn admission_control_rejects_only_past_queue_capacity() {
 }
 
 #[test]
+fn theta_controller_saturates_cleanly_at_extreme_depths() {
+    // the asymptote: d/(d+half) → 1, so θ(usize::MAX) must sit at (or one
+    // float below) the ceiling without overflowing or going NaN
+    let c = ThetaController::new(0.6, 0.95, 8.0).unwrap();
+    let top = c.theta_for(usize::MAX);
+    assert!(top.is_finite());
+    assert!((c.theta_min()..=c.theta_max()).contains(&top));
+    assert!(c.theta_max() - top < 1e-5, "θ(usize::MAX) must saturate at the ceiling, got {top}");
+    assert_eq!(c.theta_for(0), c.theta_min(), "an idle queue must sit at the floor");
+
+    // a half-pressure depth at the positive float floor makes any nonzero
+    // depth saturate immediately — still clamped, still monotone
+    let steep = ThetaController::new(0.6, 0.95, f32::MIN_POSITIVE).unwrap();
+    assert_eq!(steep.theta_for(0), steep.theta_min());
+    let one = steep.theta_for(1);
+    assert!((steep.theta_min()..=steep.theta_max()).contains(&one));
+    assert!(steep.theta_max() - one < 1e-5, "depth 1 must saturate a near-zero half, got {one}");
+    assert!(steep.theta_for(usize::MAX) >= one);
+
+    // a huge half-pressure depth pins θ to the floor at any finite load
+    let flat = ThetaController::new(0.6, 0.95, f32::MAX).unwrap();
+    let loaded = flat.theta_for(1_000_000);
+    assert!(loaded - flat.theta_min() < 1e-5, "a vast half must stay at the floor, got {loaded}");
+    // degenerate bands and parameters are refused outright
+    assert!(ThetaController::new(0.6, 0.95, 0.0).is_err());
+    assert!(ThetaController::new(0.6, 0.95, f32::INFINITY).is_err());
+    assert!(ThetaController::new(0.6, 0.95, f32::NAN).is_err());
+}
+
+#[test]
+fn zero_capacity_configs_are_refused_up_front() {
+    let base = ServerConfig {
+        max_timesteps: 6,
+        slots: 2,
+        queue_capacity: 8,
+        theta: ThetaController::fixed(0.9).unwrap(),
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 0 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    };
+    for broken in [
+        ServerConfig { queue_capacity: 0, ..base.clone() },
+        ServerConfig { slots: 0, ..base.clone() },
+        ServerConfig { max_timesteps: 0, ..base.clone() },
+    ] {
+        assert!(
+            Server::new(tiny_net(5), broken, SimClock::new()).is_err(),
+            "zero-capacity configs must be refused at construction"
+        );
+    }
+    // the valid base still constructs
+    assert!(Server::new(tiny_net(5), base, SimClock::new()).is_ok());
+}
+
+#[test]
+fn an_already_expired_deadline_times_out_without_ever_running() {
+    let config = ServerConfig {
+        max_timesteps: 6,
+        slots: 2,
+        queue_capacity: 8,
+        theta: ThetaController::fixed(0.9).unwrap(),
+        service: ServiceModel { step_fixed_nanos: 1000, step_per_row_nanos: 0 },
+        default_deadline_nanos: None,
+        record_schedule: false,
+    };
+    let mut rng = TensorRng::seed_from(19);
+    let mut server = Server::new(tiny_net(5), config, SimClock::new()).unwrap();
+    // a zero-nanosecond budget: the deadline equals the arrival instant,
+    // and any clock movement at all expires it before the next step
+    assert!(server
+        .submit(Request { id: 0, frames: vec![frame(&mut rng)], deadline_nanos: Some(0), priority: 0 })
+        .unwrap());
+    server.clock().advance(1);
+    assert!(server
+        .submit(Request { id: 1, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 })
+        .unwrap());
+    server.run_until_idle().unwrap();
+    let outcomes = server.take_outcomes();
+    let dead = outcomes.iter().find(|o| o.id == 0).unwrap();
+    assert_eq!(dead.status, CompletionStatus::TimedOut);
+    assert_eq!(dead.timesteps_used, 0, "an expired-on-arrival request must never run");
+    assert_eq!(dead.prediction, None);
+    assert_eq!(dead.deadline_nanos, Some(0));
+    let alive = outcomes.iter().find(|o| o.id == 1).unwrap();
+    assert_eq!(alive.status, CompletionStatus::Completed);
+}
+
+#[test]
 fn malformed_requests_are_refused_up_front() {
     let config = ServerConfig {
         max_timesteps: 6,
@@ -253,18 +344,18 @@ fn malformed_requests_are_refused_up_front() {
     let mut rng = TensorRng::seed_from(17);
     let mut server = Server::new(tiny_net(5), config, SimClock::new()).unwrap();
     // no frames
-    assert!(server.submit(Request { id: 0, frames: vec![], deadline_nanos: None }).is_err());
+    assert!(server.submit(Request { id: 0, frames: vec![], deadline_nanos: None, priority: 0 }).is_err());
     // frame count neither 1 nor max_timesteps
     let frames: Vec<Tensor> = (0..3).map(|_| frame(&mut rng)).collect();
-    assert!(server.submit(Request { id: 1, frames, deadline_nanos: None }).is_err());
+    assert!(server.submit(Request { id: 1, frames, deadline_nanos: None, priority: 0 }).is_err());
     // first accepted request fixes the shape; a disagreeing one is refused
     assert!(server
-        .submit(Request { id: 2, frames: vec![frame(&mut rng)], deadline_nanos: None })
+        .submit(Request { id: 2, frames: vec![frame(&mut rng)], deadline_nanos: None, priority: 0 })
         .unwrap());
     let wide = Tensor::randn(&[1, 4, 4], 0.5, 0.5, &mut rng);
-    assert!(server.submit(Request { id: 3, frames: vec![wide], deadline_nanos: None }).is_err());
+    assert!(server.submit(Request { id: 3, frames: vec![wide], deadline_nanos: None, priority: 0 }).is_err());
     // a batch axis wider than one is refused
     let batched = Tensor::randn(&[2, 1, 2, 2], 0.5, 0.5, &mut rng);
-    assert!(server.submit(Request { id: 4, frames: vec![batched], deadline_nanos: None }).is_err());
+    assert!(server.submit(Request { id: 4, frames: vec![batched], deadline_nanos: None, priority: 0 }).is_err());
     server.run_until_idle().unwrap();
 }

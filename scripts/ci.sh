@@ -102,6 +102,23 @@ for threads in 1 4; do
         cargo run --release -q -p dtsnn-bench --bin serving_load
 done
 
+# Chaos stage: the sharded fault-tolerant cluster. Parity first — a
+# no-fault 1-worker cluster must reproduce the single server bitwise
+# (outcomes AND step records), 4 workers must match solo runs — then the
+# chaos property suite: exactly-once termination under every seeded fault
+# kind (crash/stall/slowdown/transient and mixed), bitwise-reproducible
+# event streams across runs and thread counts, brownout ladder behavior.
+# Fuzz oracle 12 re-checks the cluster≡server equivalence over random
+# cases inside the fuzz_smoke runs above. Finally the chaos bench runs a
+# CI-sized fault-intensity sweep asserting goodput never collapses.
+for threads in 1 4; do
+    echo "== chaos stage: cluster parity + fault injection (DTSNN_THREADS=$threads) =="
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-serve --test cluster
+    DTSNN_THREADS=$threads cargo test -q -p dtsnn-serve --test chaos
+done
+echo "== chaos stage: fault-intensity smoke sweep =="
+DTSNN_CHAOS_SMOKE=1 cargo run --release -q -p dtsnn-bench --bin serving_chaos
+
 # Simulator stage: the event-driven multi-tile model and the mapping
 # search. The integration suite pins (a) bitwise parity between the event
 # model (pipelining + contention off) and the analytical ledger — fuzz
