@@ -11,7 +11,7 @@
 use dtsnn_bench::{json, print_table, time_it, write_json};
 use dtsnn_core::{DynamicEvaluation, DynamicInference, ExitPolicy};
 use dtsnn_snn::{vgg_small, ModelConfig, Snn};
-use dtsnn_tensor::{Tensor, TensorRng};
+use dtsnn_tensor::{simd, Tensor, TensorRng};
 
 fn fmt_time(secs: f64) -> String {
     if secs < 1e-3 {
@@ -84,6 +84,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let doc = json!({
         "host_cores": host_cores,
+        "cpu_features": simd::cpu_features(),
+        "simd_level": simd::level().name(),
         "samples": SAMPLES,
         "batch_size": BATCH,
         "max_timesteps": T,

@@ -10,7 +10,7 @@ use dtsnn_core::{
     measure_throughput, static_inference, DynamicEvaluation, DynamicInference, ExitPolicy,
 };
 use dtsnn_snn::{vgg_small, ModelConfig};
-use dtsnn_tensor::{parallel, Tensor, TensorRng};
+use dtsnn_tensor::{parallel, simd, Tensor, TensorRng};
 
 fn fmt_time(secs: f64) -> String {
     if secs < 1e-3 {
@@ -108,6 +108,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let doc = json!({
         "threads": n_threads,
         "host_cores": host_cores,
+        "cpu_features": simd::cpu_features(),
+        "simd_level": simd::level().name(),
         "samples": 64,
         "static_batch_eval": json!({
             "secs_1_thread": stat_1,

@@ -21,7 +21,7 @@
 use dtsnn_bench::{json, print_table, time_it, write_json};
 use dtsnn_core::{DynamicInference, ExitPolicy};
 use dtsnn_snn::{vgg_small, LifConfig, ModelConfig, Snn};
-use dtsnn_tensor::{backend, sparse, BackendKind, QuantizedWeights, Tensor, TensorRng};
+use dtsnn_tensor::{simd, backend, sparse, BackendKind, QuantizedWeights, Tensor, TensorRng};
 
 /// A [0,1) tensor thresholded into a binary spike pattern of the given
 /// density (the operand shape the event-driven paths are built for).
@@ -208,6 +208,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let doc = json!({
         "host_cores": host_cores,
+        "cpu_features": simd::cpu_features(),
+        "simd_level": simd::level().name(),
         "matmul_nt_shape": json!({"m": m, "k": k, "n": n}),
         "quant_bits": backend::DEFAULT_QUANT_BITS,
         "densities": densities.iter().map(|&d| json!(d)).collect::<Vec<_>>(),

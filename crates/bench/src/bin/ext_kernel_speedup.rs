@@ -20,7 +20,7 @@
 use dtsnn_bench::{json, print_table, time_it, write_json};
 use dtsnn_core::{DynamicInference, ExitPolicy};
 use dtsnn_snn::{vgg_small, LifConfig, ModelConfig};
-use dtsnn_tensor::{conv2d_ws, sparse, Conv2dSpec, Tensor, TensorRng, Workspace};
+use dtsnn_tensor::{simd, conv2d_ws, sparse, Conv2dSpec, Tensor, TensorRng, Workspace};
 
 /// A [0,1) tensor thresholded into a binary spike pattern of the given
 /// density (the operand shape the event-driven path is built for).
@@ -179,6 +179,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let doc = json!({
         "host_cores": host_cores,
+        "cpu_features": simd::cpu_features(),
+        "simd_level": simd::level().name(),
         "densities": densities.iter().map(|&d| json!(d)).collect::<Vec<_>>(),
         "kernels": json_points,
         "timestep_loop": json!({

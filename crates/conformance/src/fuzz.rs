@@ -71,7 +71,7 @@ use dtsnn_imc::{
     FaultModel, HardwareConfig, Placement, SimOptions,
 };
 use dtsnn_snn::{load_params, save_params, LifConfig, Mode, ModelConfig, Snn};
-use dtsnn_tensor::{backend, parallel, sparse, BackendKind, Tensor, TensorRng};
+use dtsnn_tensor::{backend, parallel, simd, sparse, BackendKind, Tensor, TensorRng};
 
 /// A randomly derived but fully deterministic fuzz configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -521,6 +521,61 @@ fn oracle_backend_equivalence(case: &FuzzCase) -> Result<(), String> {
     Ok(())
 }
 
+fn oracle_simd_equals_scalar(case: &FuzzCase) -> Result<(), String> {
+    let runner = DynamicInference::new(
+        ExitPolicy::entropy(case.theta).map_err(|e| e.to_string())?,
+        case.timesteps,
+    )
+    .map_err(|e| e.to_string())?;
+    let frame = case.frame(0x51_3D);
+    let run_at = |threads: usize, level: simd::SimdLevel| -> Result<_, String> {
+        parallel::with_threads(threads, || {
+            simd::with_level(level, || {
+                let mut net = case.build(13)?;
+                let traced = runner
+                    .run_traced(&mut net, std::slice::from_ref(&frame))
+                    .map_err(|e| e.to_string())?;
+                Ok((traced.outcome, traced.per_timestep))
+            })
+        })
+    };
+    // forced-scalar is the conformance oracle; every detected vector tier
+    // must replay the whole traced forward pass bitwise
+    for threads in [1usize, 4] {
+        let scalar = run_at(threads, simd::SimdLevel::Scalar)?;
+        for &lvl in simd::SimdLevel::ALL.iter().filter(|&&l| l <= simd::detected()) {
+            let vec = run_at(threads, lvl)?;
+            if scalar.0 != vec.0 {
+                return Err(format!(
+                    "{threads}-worker outcome differs: scalar {:?} vs {} {:?}",
+                    scalar.0,
+                    lvl.name(),
+                    vec.0
+                ));
+            }
+            for (t, (a, b)) in scalar.1.iter().zip(&vec.1).enumerate() {
+                let ab: Vec<u32> = a.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.accumulated_logits.iter().map(|v| v.to_bits()).collect();
+                if ab != bb {
+                    return Err(format!(
+                        "{threads}-worker {} accumulated logits differ bitwise at t={}",
+                        lvl.name(),
+                        t + 1
+                    ));
+                }
+                if a.spike_densities != b.spike_densities {
+                    return Err(format!(
+                        "{threads}-worker {} spike densities differ at t={}",
+                        lvl.name(),
+                        t + 1
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn oracle_serving_equals_sequential(case: &FuzzCase) -> Result<(), String> {
     use dtsnn_serve::{
         replay_trace, CompletionStatus, Request, Server, ServerConfig, ServiceModel, SimClock,
@@ -823,6 +878,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     oracle_fault_injection_invariants(case).map_err(|e| format!("fault-injection: {e}"))?;
     oracle_sparse_equals_dense(case).map_err(|e| format!("sparse≡dense: {e}"))?;
     oracle_backend_equivalence(case).map_err(|e| format!("backend-equivalence: {e}"))?;
+    oracle_simd_equals_scalar(case).map_err(|e| format!("simd≡scalar: {e}"))?;
     oracle_serving_equals_sequential(case).map_err(|e| format!("serving≡sequential: {e}"))?;
     oracle_event_sim_matches_ledger(case).map_err(|e| format!("event-sim≡ledger: {e}"))?;
     oracle_cluster_equals_server(case).map_err(|e| format!("cluster≡server: {e}"))?;

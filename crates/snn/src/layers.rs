@@ -11,8 +11,9 @@ use crate::lif::{LifConfig, LifNeuron};
 use crate::{Result, SnnError};
 use dtsnn_tensor::{
     avg_pool2d, avg_pool2d_backward, avg_pool2d_ws, backend, conv2d, conv2d_backward,
-    conv2d_ws_quant, conv2d_ws_with, im2col, linear_ws_quant, linear_ws_with, BackendKind,
-    Conv2dSpec, PoolSpec, QuantizedWeights, Tensor, TensorError, TensorRng, Workspace,
+    conv2d_ws_quant, conv2d_ws_with, im2col, linear_ws_quant, linear_ws_with, simd,
+    BackendKind, Conv2dSpec, PoolSpec, QuantizedWeights, Tensor, TensorError, TensorRng,
+    Workspace,
 };
 
 // ===========================================================================
@@ -426,9 +427,14 @@ impl BatchNorm2d {
             let b = self.beta.value.data()[ci];
             for ni in 0..n {
                 let base = (ni * c + ci) * plane;
-                for p in 0..plane {
-                    dst[base + p] = g * (input.data()[base + p] - mean) * inv_std + b;
-                }
+                simd::bn_affine(
+                    &mut dst[base..base + plane],
+                    &input.data()[base..base + plane],
+                    g,
+                    mean,
+                    inv_std,
+                    b,
+                );
             }
         }
     }
@@ -523,7 +529,7 @@ impl Layer for BatchNorm2d {
         let ti = slot.min(self.running_mean.len() - 1);
         let mut out = ws.take(input.len());
         self.eval_into(input, n, c, plane, ti, &mut out);
-        Tensor::from_vec(out, input.dims()).map_err(SnnError::from)
+        Tensor::from_aligned(out, input.dims()).map_err(SnnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -678,7 +684,7 @@ impl Layer for Flatten {
         let rest: usize = d[1..].iter().product();
         let mut out = ws.take(input.len());
         out.copy_from_slice(input.data());
-        Tensor::from_vec(out, &[n, rest]).map_err(SnnError::from)
+        Tensor::from_aligned(out, &[n, rest]).map_err(SnnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -746,7 +752,7 @@ impl Layer for Dropout {
         // caller's recycle discipline stays uniform.
         let mut out = ws.take(input.len());
         out.copy_from_slice(input.data());
-        Tensor::from_vec(out, input.dims()).map_err(SnnError::from)
+        Tensor::from_aligned(out, input.dims()).map_err(SnnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -862,7 +868,7 @@ impl Layer for ResidualBlock {
         for ((o, &a), &b) in j.iter_mut().zip(mt.data()).zip(st.data()) {
             *o = a + b;
         }
-        let joined = Tensor::from_vec(j, mt.dims()).map_err(SnnError::from)?;
+        let joined = Tensor::from_aligned(j, mt.dims()).map_err(SnnError::from)?;
         if let Some(t) = m {
             ws.recycle_tensor(t);
         }
@@ -1219,5 +1225,35 @@ mod tests {
         block.forward(&x, Mode::Train).unwrap();
         let gx = block.backward(&Tensor::ones(&[1, 1, 4, 4])).unwrap();
         assert_eq!(gx.dims(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn batchnorm_eval_is_bitwise_invariant_across_simd_levels_and_threads() {
+        use dtsnn_tensor::{parallel, simd};
+        let _guard = crate::test_support::SIMD_TEST_LOCK.lock().unwrap();
+        let mut r = rng();
+        let mut bn = BatchNorm2d::new(3);
+        for _ in 0..10 {
+            let x = Tensor::randn(&[4, 3, 5, 5], 1.0, 2.0, &mut r);
+            bn.forward(&x, Mode::Train).unwrap();
+            bn.reset_state();
+        }
+        let x = Tensor::randn(&[4, 3, 5, 5], 1.0, 2.0, &mut r);
+        let run = |level: simd::SimdLevel, threads: usize| {
+            simd::with_level(level, || {
+                parallel::with_threads(threads, || {
+                    let mut b = bn.clone();
+                    let mut ws = Workspace::new();
+                    let y = b.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+                    y.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                })
+            })
+        };
+        let want = run(simd::SimdLevel::Scalar, 1);
+        for &lvl in simd::SimdLevel::ALL.iter().filter(|&&l| l <= simd::detected()) {
+            for threads in [1usize, 4] {
+                assert_eq!(want, run(lvl, threads), "{lvl:?} threads={threads}");
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::{Result, SnnError, Surrogate};
-use dtsnn_tensor::{Tensor, TensorError, Workspace};
+use dtsnn_tensor::{simd, Tensor, TensorError, Workspace};
 
 /// How the membrane potential is reset after a spike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -233,20 +233,17 @@ impl Layer for LifNeuron {
                         actual: input.dims().to_vec(),
                     }));
                 }
-                for ((o, &m), &x) in u_pre.iter_mut().zip(u.data()).zip(input.data()) {
-                    *o = m * tau + x;
-                }
+                simd::lif_charge(&mut u_pre, u.data(), tau, input.data());
             }
             None => u_pre.copy_from_slice(input.data()),
         }
         let mut spikes = ws.take(input.len());
         match self.config.smooth_spike {
             None => {
-                for (o, &u) in spikes.iter_mut().zip(&u_pre) {
-                    *o = if u > v_th { 1.0 } else { 0.0 };
-                }
+                simd::lif_heaviside(&mut spikes, &u_pre, v_th);
             }
             Some(b) => {
+                // transcendental path stays scalar (no vector tanh in std)
                 for (o, &u) in spikes.iter_mut().zip(&u_pre) {
                     *o = 0.5 * ((b * (u - v_th)).tanh() + 1.0);
                 }
@@ -256,22 +253,18 @@ impl Layer for LifNeuron {
         // the previous membrane's buffer goes back to the arena.
         match self.config.reset {
             ResetMode::Zero => {
-                for (u, &s) in u_pre.iter_mut().zip(&spikes) {
-                    *u *= 1.0 - s;
-                }
+                simd::lif_reset_zero(&mut u_pre, &spikes);
             }
             ResetMode::Subtract => {
-                for (u, &s) in u_pre.iter_mut().zip(&spikes) {
-                    *u -= v_th * s;
-                }
+                simd::lif_reset_subtract(&mut u_pre, &spikes, v_th);
             }
         }
-        let next = Tensor::from_vec(u_pre, input.dims()).map_err(SnnError::from)?;
+        let next = Tensor::from_aligned(u_pre, input.dims()).map_err(SnnError::from)?;
         if let Some(old) = self.membrane.take() {
             ws.recycle_tensor(old);
         }
         self.membrane = Some(next);
-        let spikes = Tensor::from_vec(spikes, input.dims()).map_err(SnnError::from)?;
+        let spikes = Tensor::from_aligned(spikes, input.dims()).map_err(SnnError::from)?;
         self.last_density = spikes.density();
         spikes.density_rows_into(&mut self.last_row_densities);
         Ok(spikes)
@@ -373,7 +366,7 @@ impl Layer for LifNeuron {
             buf[..u.len()].copy_from_slice(u.data());
             ws.recycle_tensor(u);
             dims[0] += extra;
-            self.membrane = Some(Tensor::from_vec(buf, &dims).map_err(SnnError::from)?);
+            self.membrane = Some(Tensor::from_aligned(buf, &dims).map_err(SnnError::from)?);
         }
         // fresh rows have emitted nothing yet; keep the densities aligned
         // with the widened batch so a following select_batch_rows stays legal
@@ -409,7 +402,7 @@ impl Layer for LifNeuron {
             let mut dims = u.dims().to_vec();
             dims[0] = rows.len();
             ws.recycle_tensor(u);
-            self.membrane = Some(Tensor::from_vec(buf, &dims).map_err(SnnError::from)?);
+            self.membrane = Some(Tensor::from_aligned(buf, &dims).map_err(SnnError::from)?);
         }
         self.keep_row_densities(rows)
     }
@@ -663,5 +656,37 @@ mod tests {
         let mut lif = LifNeuron::new(LifConfig::default());
         lif.select_batch_rows(&[0]).unwrap();
         assert!(lif.membrane().is_none());
+    }
+
+    #[test]
+    fn forward_ws_is_bitwise_invariant_across_simd_levels_and_threads() {
+        use dtsnn_tensor::{parallel, simd, TensorRng};
+        let _guard = crate::test_support::SIMD_TEST_LOCK.lock().unwrap();
+        for reset in [ResetMode::Zero, ResetMode::Subtract] {
+            let run = |level: simd::SimdLevel, threads: usize| {
+                simd::with_level(level, || {
+                    parallel::with_threads(threads, || {
+                        let mut rng = TensorRng::seed_from(77);
+                        let cfg = LifConfig { tau: 0.5, v_th: 0.4, reset, ..LifConfig::default() };
+                        let mut lif = LifNeuron::new(cfg);
+                        let mut ws = Workspace::new();
+                        let mut bits = Vec::new();
+                        for _ in 0..4 {
+                            let x = Tensor::randn(&[5, 33], 0.0, 1.0, &mut rng);
+                            let s = lif.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+                            bits.extend(s.data().iter().map(|v| v.to_bits()));
+                        }
+                        bits.extend(lif.membrane().unwrap().data().iter().map(|v| v.to_bits()));
+                        bits
+                    })
+                })
+            };
+            let want = run(simd::SimdLevel::Scalar, 1);
+            for &lvl in simd::SimdLevel::ALL.iter().filter(|&&l| l <= simd::detected()) {
+                for threads in [1usize, 4] {
+                    assert_eq!(want, run(lvl, threads), "{reset:?} {lvl:?} threads={threads}");
+                }
+            }
+        }
     }
 }

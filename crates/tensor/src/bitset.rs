@@ -26,7 +26,7 @@
 //! [`crate::backend`] measures binarity first and routes non-binary
 //! operands to CSR.
 
-use crate::{parallel, Conv2dSpec, Result, Tensor, TensorError};
+use crate::{parallel, simd, AlignedWords, Conv2dSpec, Result, Tensor, TensorError};
 
 /// Bit-packed binary matrix: row `i`'s active columns are the set bits of
 /// `words[i*words_per_row..][..words_per_row]`, bit `j % 64` of word
@@ -38,7 +38,7 @@ pub struct BitMatrix {
     rows: usize,
     cols: usize,
     words_per_row: usize,
-    words: Vec<u64>,
+    words: AlignedWords,
 }
 
 fn non_binary(v: f32) -> TensorError {
@@ -77,8 +77,9 @@ impl BitMatrix {
         self.words.clear();
     }
 
-    /// The packed words of row `i`.
-    fn row_words(&self, i: usize) -> &[u64] {
+    /// The packed words of row `i` (crate-visible so the quantized integer
+    /// kernel can feed whole words to the SIMD dot).
+    pub(crate) fn row_words(&self, i: usize) -> &[u64] {
         &self.words[i * self.words_per_row..(i + 1) * self.words_per_row]
     }
 
@@ -229,6 +230,7 @@ impl BitMatrix {
             return;
         }
         let work = self.nnz().saturating_mul(n);
+        let lvl = simd::level();
         parallel::for_each_row_chunk(out, n, self.rows, work, |first_row, c| {
             for (local_i, crow) in c.chunks_mut(n).enumerate() {
                 let i = first_row + local_i;
@@ -238,9 +240,7 @@ impl BitMatrix {
                         let p = wi * 64 + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
                         let brow = &b[p * n..p * n + n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += bv;
-                        }
+                        simd::add_row(crow, brow, lvl);
                     }
                 }
             }
@@ -302,8 +302,10 @@ impl BitMatrix {
         });
     }
 
-    /// Visits the active columns of row `i` in ascending order (exposed for
-    /// the quantized integer kernel).
+    /// Visits the active columns of row `i` in ascending order. The
+    /// quantized kernel now scans words via [`crate::simd::quant_dot`];
+    /// this stays as the readable reference for the tests below.
+    #[cfg(test)]
     pub(crate) fn for_each_active<F: FnMut(usize)>(&self, i: usize, mut f: F) {
         for (wi, &word) in self.row_words(i).iter().enumerate() {
             let mut bits = word;

@@ -373,7 +373,7 @@ pub fn conv2d_ws_with(
     let mut out = ws.take(n * co * oh * ow);
     rows_to_nchw_core(&out_mat, n, co, oh, ow, &mut out);
     ws.recycle(out_mat);
-    Tensor::from_vec(out, &[n, co, oh, ow])
+    Tensor::from_aligned(out, &[n, co, oh, ow])
 }
 
 /// Quantized convolution forward: for a binary input the bit-packed im2col
@@ -435,7 +435,7 @@ pub fn conv2d_ws_quant(
     let mut out = ws.take(n * co * oh * ow);
     rows_to_nchw_core(&out_mat, n, co, oh, ow, &mut out);
     ws.recycle(out_mat);
-    Tensor::from_vec(out, &[n, co, oh, ow])
+    Tensor::from_aligned(out, &[n, co, oh, ow])
 }
 
 /// Transposes a row-major `[r, c]` buffer into `out[c, r]`.

@@ -40,9 +40,13 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the two layout/intrinsics modules — [`align`]
+// and [`simd`] — can opt in with scoped `#[allow(unsafe_code)]`; everything
+// else stays statically unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod align;
 pub mod backend;
 pub mod bitset;
 mod conv;
@@ -54,10 +58,12 @@ mod pool;
 pub mod quant;
 mod rng;
 mod shape;
+pub mod simd;
 pub mod sparse;
 mod tensor;
 mod workspace;
 
+pub use align::{AlignedVec, AlignedWords};
 pub use backend::{kernel_backend, BackendKind, KernelBackend};
 pub use bitset::BitMatrix;
 pub use conv::{
@@ -71,6 +77,7 @@ pub use pool::{avg_pool2d, avg_pool2d_backward, avg_pool2d_ws, global_avg_pool, 
 pub use quant::QuantizedWeights;
 pub use rng::TensorRng;
 pub use shape::Shape;
+pub use simd::SimdLevel;
 pub use sparse::SpikeMatrix;
 pub use tensor::Tensor;
 pub use workspace::{Workspace, WorkspaceStats};

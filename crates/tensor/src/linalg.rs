@@ -17,7 +17,7 @@
 
 use crate::backend::{self, BackendKind};
 use crate::quant::QuantizedWeights;
-use crate::{parallel, BitMatrix, Result, SpikeMatrix, Tensor, TensorError, Workspace};
+use crate::{parallel, simd, BitMatrix, Result, SpikeMatrix, Tensor, TensorError, Workspace};
 
 /// K-dimension tile: one tile of `b` rows (`BLOCK_K × BLOCK_N` floats) stays
 /// cache-hot across all output rows of a worker's chunk. Per output element
@@ -31,6 +31,7 @@ const BLOCK_N: usize = 256;
 /// operands that stayed above the sparse-dispatch threshold).
 pub(crate) fn matmul_dense(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
     let work = m.saturating_mul(k).saturating_mul(n);
+    let lvl = simd::level();
     parallel::for_each_row_chunk(out, n, m, work, |first_row, c| {
         for jb in (0..n).step_by(BLOCK_N) {
             let jend = (jb + BLOCK_N).min(n);
@@ -45,9 +46,7 @@ pub(crate) fn matmul_dense(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, o
                             continue;
                         }
                         let brow = &b[p * n + jb..p * n + jend];
-                        for (cv, &bv) in ctile.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
+                        simd::add_scaled_row(ctile, av, brow, lvl);
                     }
                 }
             }
@@ -60,6 +59,7 @@ pub(crate) fn matmul_dense(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, o
 /// ascends over `p` exactly like a serial pass.
 pub(crate) fn matmul_tn_dense(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
     let work = m.saturating_mul(k).saturating_mul(n);
+    let lvl = simd::level();
     parallel::for_each_row_chunk(out, n, m, work, |first_row, c| {
         let rows = c.len() / n;
         for jb in (0..n).step_by(BLOCK_N) {
@@ -74,9 +74,7 @@ pub(crate) fn matmul_tn_dense(a: &[f32], k: usize, m: usize, b: &[f32], n: usize
                             continue;
                         }
                         let ctile = &mut c[local_i * n + jb..local_i * n + jend];
-                        for (cv, &bv) in ctile.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
+                        simd::add_scaled_row(ctile, av, brow, lvl);
                     }
                 }
             }
@@ -84,36 +82,31 @@ pub(crate) fn matmul_tn_dense(a: &[f32], k: usize, m: usize, b: &[f32], n: usize
     });
 }
 
-/// Dense `out[m,n] = a[m,k] × bᵀ` with `b` stored `[n, k]`. Straight-line
-/// dot products — no per-element zero branch; sparsity is the dispatch
-/// layer's job, and on dense operands the branch only cost a mispredict per
-/// element.
+/// Dense `out[m,n] += a[m,k] × bᵀ` over a **zero-filled** `out`, with `b`
+/// stored `[n, k]`. No per-element zero branch — sparsity is the dispatch
+/// layer's job. The SIMD tiers tile over output columns with the partial
+/// accumulator parked in `out` between k-tiles (an exact f32 store/load),
+/// which is why the buffer must start zeroed; every caller passes a fresh
+/// [`crate::Tensor::zeros`] or zero-filled [`crate::Workspace::take`]
+/// buffer.
 pub(crate) fn matmul_nt_dense(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if m == 0 || n == 0 {
+        return;
+    }
     let work = m.saturating_mul(k).saturating_mul(n);
+    let lvl = simd::level();
     parallel::for_each_row_chunk(out, n, m, work, |first_row, c| {
-        for (local_i, crow) in c.chunks_mut(n).enumerate() {
-            let i = first_row + local_i;
-            let arow = &a[i * k..(i + 1) * k];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *cv = acc;
-            }
-        }
+        simd::matmul_nt_chunk(a, k, first_row, c.len() / n, b, n, c, lvl);
     });
 }
 
 /// `c[rows, n] += bias[n]` broadcast over rows, row-partitioned.
 pub(crate) fn add_bias_rows(c: &mut [f32], n: usize, rows: usize, b: &[f32]) {
     let work = rows.saturating_mul(n);
+    let lvl = simd::level();
     parallel::for_each_row_chunk(c, n, rows, work, |_, chunk| {
         for crow in chunk.chunks_mut(n) {
-            for (cv, &bv) in crow.iter_mut().zip(b) {
-                *cv += bv;
-            }
+            simd::add_row(crow, b, lvl);
         }
     });
 }
@@ -345,7 +338,7 @@ pub fn linear_ws_with(
         }
         add_bias_rows(&mut out, n, m, bias.data());
     }
-    Tensor::from_vec(out, &[m, n])
+    Tensor::from_aligned(out, &[m, n])
 }
 
 /// Quantized fully-connected forward: for a binary input, an exact `i32`
@@ -383,7 +376,7 @@ pub fn linear_ws_quant(
         ws.recycle_bits(bm);
         add_bias_rows(&mut out, n, m, bias.data());
     }
-    Tensor::from_vec(out, &[m, n])
+    Tensor::from_aligned(out, &[m, n])
 }
 
 fn mat_dims(t: &Tensor) -> Result<(usize, usize)> {

@@ -72,7 +72,7 @@ pub fn avg_pool2d_ws(input: &Tensor, spec: &PoolSpec, ws: &mut Workspace) -> Res
     let (oh, ow) = spec.output_hw(h, w)?;
     let mut out = ws.take(n * c * oh * ow);
     avg_pool2d_core(input.data(), [n, c, h, w], spec, oh, ow, &mut out);
-    Tensor::from_vec(out, &[n, c, oh, ow])
+    Tensor::from_aligned(out, &[n, c, oh, ow])
 }
 
 /// Core of [`avg_pool2d`]: writes every output element exactly once.

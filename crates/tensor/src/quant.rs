@@ -26,7 +26,7 @@
 //! fixed point of the grid snap.
 
 use crate::bitset::BitMatrix;
-use crate::{parallel, Result, Tensor, TensorError};
+use crate::{parallel, simd, Result, Tensor, TensorError};
 
 /// Quantize-then-dequantize one weight on the signed `weight_bits` grid
 /// with full-scale magnitude `scale` (the ideal, noise-free deployment).
@@ -134,13 +134,16 @@ impl QuantizedWeights {
         }
         let k = self.cols;
         let work = a.nnz().saturating_mul(n);
+        let lvl = simd::level();
         parallel::for_each_row_chunk(out, n, a.rows(), work, |first_row, c| {
             for (local_i, crow) in c.chunks_mut(n).enumerate() {
                 let i = first_row + local_i;
+                let words = a.row_words(i);
                 for (j, cv) in crow.iter_mut().enumerate() {
                     let qrow = &self.q[j * k..(j + 1) * k];
-                    let mut acc: i32 = 0;
-                    a.for_each_active(i, |p| acc += i32::from(qrow[p]));
+                    // exact i32 sum of the active codes (integer adds are
+                    // order-free, so the SIMD lane reduction is exact)
+                    let acc = simd::quant_dot(words, qrow, lvl);
                     *cv = acc as f32 * self.delta;
                 }
             }

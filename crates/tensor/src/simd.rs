@@ -1,0 +1,1063 @@
+//! Runtime-dispatched SIMD kernel tier (AVX2 → SSE2 → scalar).
+//!
+//! Every kernel family in this crate keeps one discipline: **each output
+//! element accumulates its terms in exactly the serial order**, so results
+//! are bitwise identical across kernel families and thread counts. The
+//! vector code here preserves that discipline by vectorizing **across the
+//! output-column (`j`) dimension**: each SIMD lane owns one independent
+//! output accumulator, so no lane ever reorders another element's terms,
+//! there is no horizontal float reduction, and every term is an explicit
+//! multiply followed by an explicit add — **never an FMA** (scalar Rust
+//! emits separate `mulss`/`addss`; a fused contraction would change the
+//! rounding and break every golden trace).
+//!
+//! # Dispatch ladder
+//!
+//! The active [`SimdLevel`] resolves, in priority order, from:
+//!
+//! 1. a process-wide override installed with [`set_level`] / [`with_level`]
+//!    (tests and benches pin the tier to compare),
+//! 2. the `DTSNN_SIMD` environment variable
+//!    (`auto|off|scalar|sse2|avx2`, read once; malformed values warn once
+//!    and fall back to `auto`),
+//! 3. runtime CPU-feature detection (`is_x86_feature_detected!`), cached in
+//!    a `OnceLock`.
+//!
+//! A request above the host's capability is capped at the detected level —
+//! forcing `avx2` on an SSE2-only host runs SSE2 rather than faulting — so
+//! every resolved level is safe to execute. Non-`x86_64` targets always
+//! resolve to [`SimdLevel::Scalar`]; the scalar bodies double as the
+//! conformance oracle for the vector paths.
+//!
+//! # Exactness notes
+//!
+//! - f32 paths: lane-parallel over `j`, per-element op order unchanged →
+//!   bitwise identical to scalar (pinned by the unit tests here, fuzz
+//!   oracle 13 and the `DTSNN_SIMD=off` vs `auto` CI stage).
+//! - int8 quantized dot: i16→i32 sign-extended widening multiplies; integer
+//!   accumulation is associative, so the lane reduction is exact on the
+//!   i32 grid — same integer, same single f32 rescale.
+//! - Elementwise LIF/BatchNorm ops replicate the literal scalar expression
+//!   (e.g. `u · (1 − s)`, not a mask select, so an `inf` membrane that
+//!   spikes still produces the scalar path's `NaN`).
+
+// The only unsafety here is calling `#[target_feature]` functions; every
+// call site is guarded by the dispatch ladder, which never resolves above
+// the detected CPU capability.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The instruction tiers the kernels can dispatch to, ordered by
+/// capability: a level's kernels may be used whenever the host supports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Plain Rust loops — the conformance oracle and non-x86_64 path.
+    Scalar,
+    /// 128-bit SSE2 vectors (x86_64 baseline).
+    Sse2,
+    /// 256-bit AVX2 vectors.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// All levels in ascending capability order.
+    pub const ALL: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2];
+
+    /// Stable lowercase name (used in bench JSON context and CI logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    fn to_index(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 => 2,
+            SimdLevel::Avx2 => 3,
+        }
+    }
+
+    fn from_index(i: usize) -> Option<SimdLevel> {
+        match i {
+            1 => Some(SimdLevel::Scalar),
+            2 => Some(SimdLevel::Sse2),
+            3 => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+}
+
+// Packed override: 0 = none, otherwise SimdLevel::to_index.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static ENV_LEVEL: OnceLock<Option<SimdLevel>> = OnceLock::new();
+static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+
+/// Parses a `DTSNN_SIMD` value. `Ok(None)` means auto (detected) dispatch;
+/// `Err(())` flags a malformed value for the caller to warn about.
+pub(crate) fn parse_simd(raw: &str) -> std::result::Result<Option<SimdLevel>, ()> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => Ok(None),
+        "off" | "scalar" | "none" => Ok(Some(SimdLevel::Scalar)),
+        "sse2" => Ok(Some(SimdLevel::Sse2)),
+        "avx2" => Ok(Some(SimdLevel::Avx2)),
+        _ => Err(()),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        SimdLevel::Avx2
+    } else if std::arch::is_x86_feature_detected!("sse2") {
+        SimdLevel::Sse2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+/// The host's best supported level (cached runtime detection).
+pub fn detected() -> SimdLevel {
+    *DETECTED.get_or_init(detect)
+}
+
+/// Comma-separated list of the vector features the host supports, recorded
+/// next to `host_cores` in bench JSON context blocks so committed numbers
+/// stay interpretable across machines.
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats = Vec::new();
+        for (name, have) in [
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("sse2", std::arch::is_x86_feature_detected!("sse2")),
+        ] {
+            if have {
+                feats.push(name);
+            }
+        }
+        if feats.is_empty() {
+            "none".to_string()
+        } else {
+            feats.join(",")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "non-x86_64".to_string()
+    }
+}
+
+fn env_level() -> Option<SimdLevel> {
+    *ENV_LEVEL.get_or_init(|| match std::env::var("DTSNN_SIMD") {
+        Ok(v) => match parse_simd(&v) {
+            Ok(level) => {
+                if let Some(l) = level {
+                    if l > detected() {
+                        eprintln!(
+                            "dtsnn: warning: DTSNN_SIMD={v:?} exceeds this host's \
+                             capability; capping at {}",
+                            detected().name()
+                        );
+                    }
+                }
+                level
+            }
+            Err(()) => {
+                // OnceLock init runs at most once, so this warning cannot
+                // repeat per process.
+                eprintln!(
+                    "dtsnn: warning: DTSNN_SIMD={v:?} is not one of \
+                     auto|off|scalar|sse2|avx2; using auto dispatch"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// The level the kernels will actually run at: the forced level (override →
+/// `DTSNN_SIMD`) capped at the host capability, or the detected level.
+/// Kernels hoist this once per call and pass it down, so the inner loops
+/// never touch the atomics.
+pub fn level() -> SimdLevel {
+    let cap = detected();
+    let packed = OVERRIDE.load(Ordering::Relaxed);
+    if packed != 0 {
+        return SimdLevel::from_index(packed).unwrap_or(SimdLevel::Scalar).min(cap);
+    }
+    env_level().map_or(cap, |l| l.min(cap))
+}
+
+/// Installs a process-wide level override (capped at the host capability at
+/// use time); `None` restores env/auto dispatch. Returns the previous
+/// override. Safe to flip concurrently: every level produces bitwise
+/// identical f32 results, so the knob can never change a numeric output.
+pub fn set_level(level: Option<SimdLevel>) -> Option<SimdLevel> {
+    let packed = level.map_or(0, SimdLevel::to_index);
+    SimdLevel::from_index(OVERRIDE.swap(packed, Ordering::Relaxed))
+}
+
+/// Runs `f` with the SIMD tier pinned to `level`, restoring the previous
+/// override afterwards — the scoped guard the equivalence tests and the
+/// speedup bench use to compare tiers in one process.
+pub fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    let prev = set_level(Some(level));
+    let out = f();
+    set_level(prev);
+    out
+}
+
+// --------------------------------------------------------------------------
+// Row primitives: the vectorizable inner loops of the matmul/bitset/CSR
+// kernels. `c` and `b` are equal-length row slices; each lane owns one
+// output column, so the per-element op order is exactly the scalar loop's.
+// --------------------------------------------------------------------------
+
+/// `c[j] += b[j]` — the binary row-add of the bitset/CSR gather kernels and
+/// the bias broadcast.
+#[inline]
+pub fn add_row(c: &mut [f32], b: &[f32], level: SimdLevel) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // short rows inline the scalar loop: the vector fns cannot inline
+        // across the #[target_feature] boundary and the call costs more
+        // than it saves under ~4 vectors (both tiers are bitwise equal,
+        // so the gate is invisible to everything but the clock)
+        if c.len() >= 32 {
+            match level {
+                // SAFETY: level() caps at the detected capability, so the
+                // required CPU features are present.
+                SimdLevel::Avx2 => return unsafe { add_row_avx2(c, b) },
+                SimdLevel::Sse2 => return unsafe { add_row_sse2(c, b) },
+                SimdLevel::Scalar => {}
+            }
+        }
+    }
+    let _ = level;
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv += bv;
+    }
+}
+
+/// `c[j] += a * b[j]` — the scaled row-add of the dense and CSR kernels.
+/// Explicit multiply-then-add per lane; never an FMA.
+#[inline]
+pub fn add_scaled_row(c: &mut [f32], a: f32, b: &[f32], level: SimdLevel) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // same short-row gate as `add_row` — see the comment there
+        if c.len() >= 32 {
+            match level {
+                // SAFETY: level() caps at the detected capability.
+                SimdLevel::Avx2 => return unsafe { add_scaled_row_avx2(c, a, b) },
+                SimdLevel::Sse2 => return unsafe { add_scaled_row_sse2(c, a, b) },
+                SimdLevel::Scalar => {}
+            }
+        }
+    }
+    let _ = level;
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv += a * bv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// K-tile of the packed `matmul_nt` kernel: rows of packed `b` columns
+    /// held in a stack tile (`NT_BLOCK_K × 8` floats = 4 KiB at AVX2 width).
+    /// Per output element the tiles are visited in ascending order and the
+    /// partial accumulator round-trips through `out` between tiles — an
+    /// exact f32 store/load, so blocking stays bitwise neutral.
+    pub(super) const NT_BLOCK_K: usize = 128;
+
+    macro_rules! elementwise {
+        ($name:ident, $feat:literal, $width:expr, $set1:ident, $loadu:ident,
+         $storeu:ident, |$va:ident, $vb:ident| $vec:expr, |$sa:ident, $sb:ident| $scalar:expr) => {
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $name(c: &mut [f32], b: &[f32]) {
+                let n = c.len().min(b.len());
+                let mut j = 0;
+                // SAFETY: j + WIDTH <= n bounds every pointer access.
+                unsafe {
+                    while j + $width <= n {
+                        let $va = $loadu(c.as_ptr().add(j));
+                        let $vb = $loadu(b.as_ptr().add(j));
+                        $storeu(c.as_mut_ptr().add(j), $vec);
+                        j += $width;
+                    }
+                }
+                for jj in j..n {
+                    let $sa = c[jj];
+                    let $sb = b[jj];
+                    c[jj] = $scalar;
+                }
+            }
+        };
+    }
+
+    elementwise!(add_row_avx2_impl, "avx2", 8, _mm256_set1_ps, _mm256_loadu_ps,
+        _mm256_storeu_ps, |a, b| _mm256_add_ps(a, b), |x, y| x + y);
+    elementwise!(add_row_sse2_impl, "sse2", 4, _mm_set1_ps, _mm_loadu_ps,
+        _mm_storeu_ps, |a, b| _mm_add_ps(a, b), |x, y| x + y);
+
+    pub(super) use add_row_avx2_impl as add_row_avx2;
+    pub(super) use add_row_sse2_impl as add_row_sse2;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_scaled_row_avx2(c: &mut [f32], a: f32, b: &[f32]) {
+        let n = c.len().min(b.len());
+        let mut j = 0;
+        // SAFETY: j + 8 <= n bounds every pointer access.
+        unsafe {
+            let av = _mm256_set1_ps(a);
+            while j + 8 <= n {
+                let cv = _mm256_loadu_ps(c.as_ptr().add(j));
+                let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+                // mul then add — not fused, matching scalar rounding
+                _mm256_storeu_ps(c.as_mut_ptr().add(j), _mm256_add_ps(cv, _mm256_mul_ps(av, bv)));
+                j += 8;
+            }
+        }
+        for jj in j..n {
+            c[jj] += a * b[jj];
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn add_scaled_row_sse2(c: &mut [f32], a: f32, b: &[f32]) {
+        let n = c.len().min(b.len());
+        let mut j = 0;
+        // SAFETY: j + 4 <= n bounds every pointer access.
+        unsafe {
+            let av = _mm_set1_ps(a);
+            while j + 4 <= n {
+                let cv = _mm_loadu_ps(c.as_ptr().add(j));
+                let bv = _mm_loadu_ps(b.as_ptr().add(j));
+                _mm_storeu_ps(c.as_mut_ptr().add(j), _mm_add_ps(cv, _mm_mul_ps(av, bv)));
+                j += 4;
+            }
+        }
+        for jj in j..n {
+            c[jj] += a * b[jj];
+        }
+    }
+
+    macro_rules! nt_chunk {
+        ($name:ident, $feat:literal, $width:expr, $set1:ident, $loadu:ident,
+         $storeu:ident, $add:ident, $mul:ident) => {
+            /// One worker's row chunk of `out[m,n] += a[m,k] × bᵀ[n,k]` over
+            /// a zero-filled chunk: packs `$width` columns of `bᵀ` per
+            /// k-tile into a stack-resident tile, broadcasts `a[i][p]` and
+            /// does lane-parallel mul-then-add. Tail columns fall back to
+            /// the scalar dot (same ascending-k order, overwrite of a zero).
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $name(
+                a: &[f32],
+                k: usize,
+                first_row: usize,
+                rows: usize,
+                b: &[f32],
+                n: usize,
+                c: &mut [f32],
+            ) {
+                const W: usize = $width;
+                let mut tile = [0.0f32; NT_BLOCK_K * $width];
+                let jmain = n - n % W;
+                for jb in (0..jmain).step_by(W) {
+                    for pb in (0..k).step_by(NT_BLOCK_K) {
+                        let pend = (pb + NT_BLOCK_K).min(k);
+                        for l in 0..W {
+                            let brow = &b[(jb + l) * k + pb..(jb + l) * k + pend];
+                            for (pi, &bv) in brow.iter().enumerate() {
+                                tile[pi * W + l] = bv;
+                            }
+                        }
+                        for li in 0..rows {
+                            let i = first_row + li;
+                            let arow = &a[i * k + pb..i * k + pend];
+                            // SAFETY: li * n + jb + W <= rows * n == c.len()
+                            // (jb + W <= jmain <= n) and pi * W + W bounds
+                            // the tile; loads/stores stay in range.
+                            unsafe {
+                                let cptr = c.as_mut_ptr().add(li * n + jb);
+                                let mut acc = $loadu(cptr);
+                                for (pi, &av) in arow.iter().enumerate() {
+                                    let bv = $loadu(tile.as_ptr().add(pi * W));
+                                    // mul then add — never fused
+                                    acc = $add(acc, $mul($set1(av), bv));
+                                }
+                                $storeu(cptr, acc);
+                            }
+                        }
+                    }
+                }
+                for li in 0..rows {
+                    let i = first_row + li;
+                    let arow = &a[i * k..(i + 1) * k];
+                    for j in jmain..n {
+                        let brow = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0;
+                        for (&av, &bv) in arow.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        c[li * n + j] = acc;
+                    }
+                }
+            }
+        };
+    }
+
+    nt_chunk!(nt_chunk_avx2, "avx2", 8, _mm256_set1_ps, _mm256_loadu_ps, _mm256_storeu_ps,
+        _mm256_add_ps, _mm256_mul_ps);
+    nt_chunk!(nt_chunk_sse2, "sse2", 4, _mm_set1_ps, _mm_loadu_ps, _mm_storeu_ps,
+        _mm_add_ps, _mm_mul_ps);
+
+    /// Builds a 32-byte mask (0xFF per set bit) from a 32-bit spike word
+    /// half: broadcast the dword, shuffle byte `i/8` into byte `i`, test
+    /// bit `i%8`.
+    #[target_feature(enable = "avx2")]
+    fn mask_from_bits32(bits: u32) -> __m256i {
+        // intrinsics without memory access are safe inside a matching
+        // #[target_feature] fn; only the pointer loads/stores need unsafe
+        let v = _mm256_set1_epi32(bits as i32);
+        #[rustfmt::skip]
+        let group = _mm256_setr_epi8(
+            0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1,
+            2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3,
+        );
+        #[rustfmt::skip]
+        let sel = _mm256_setr_epi8(
+            1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+            1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+        );
+        let bytes = _mm256_shuffle_epi8(v, group);
+        _mm256_cmpeq_epi8(_mm256_and_si256(bytes, sel), sel)
+    }
+
+    /// Quantized dot of one packed spike row against one `i8` weight row:
+    /// mask the active codes, sign-extend i8→i16, widen-multiply by one
+    /// into i32 lanes, reduce exactly (integer adds are associative).
+    /// Returns the same `i32` as the scalar bit-scan for any bit pattern.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quant_dot_avx2(words: &[u64], q: &[i8]) -> i32 {
+        let k = q.len();
+        // SAFETY: full words guarantee base + 64 <= k, so the two 32-byte
+        // code loads stay in bounds; partial trailing words take the scalar
+        // scan below.
+        unsafe {
+            let ones = _mm256_set1_epi16(1);
+            let mut acc = _mm256_setzero_si256();
+            let mut tail = 0i32;
+            for (wi, &word) in words.iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                let base = wi * 64;
+                if base + 64 <= k {
+                    for half in 0..2u32 {
+                        let bits = (word >> (32 * half)) as u32;
+                        if bits == 0 {
+                            continue;
+                        }
+                        let mask = mask_from_bits32(bits);
+                        let codes =
+                            _mm256_loadu_si256(q.as_ptr().add(base + 32 * half as usize).cast());
+                        let sel = _mm256_and_si256(codes, mask);
+                        let lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(sel));
+                        let hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(sel));
+                        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(lo, ones));
+                        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(hi, ones));
+                    }
+                } else {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let p = base + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        tail += i32::from(q[p]);
+                    }
+                }
+            }
+            let s = _mm_add_epi32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256::<1>(acc));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_11_10>(s));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+            _mm_cvtsi128_si32(s).wrapping_add(tail)
+        }
+    }
+
+    macro_rules! lif_ops {
+        ($charge:ident, $heaviside:ident, $reset_zero:ident, $reset_sub:ident, $bn:ident,
+         $feat:literal, $width:expr, $set1:ident, $loadu:ident, $storeu:ident,
+         $add:ident, $sub:ident, $mul:ident, $cmpgt:expr, $and:ident, $cast:ident) => {
+            /// `dst[i] = m[i] * tau + x[i]` — explicit mul then add.
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $charge(dst: &mut [f32], m: &[f32], tau: f32, x: &[f32]) {
+                let n = dst.len().min(m.len()).min(x.len());
+                let mut j = 0;
+                // SAFETY: j + WIDTH <= n bounds every access.
+                unsafe {
+                    let tv = $set1(tau);
+                    while j + $width <= n {
+                        let mv = $loadu(m.as_ptr().add(j));
+                        let xv = $loadu(x.as_ptr().add(j));
+                        $storeu(dst.as_mut_ptr().add(j), $add($mul(mv, tv), xv));
+                        j += $width;
+                    }
+                }
+                for jj in j..n {
+                    dst[jj] = m[jj] * tau + x[jj];
+                }
+            }
+
+            /// `dst[i] = if u[i] > v_th { 1.0 } else { 0.0 }` (NaN → 0.0,
+            /// like the scalar comparison).
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $heaviside(dst: &mut [f32], u: &[f32], v_th: f32) {
+                let n = dst.len().min(u.len());
+                let mut j = 0;
+                // SAFETY: j + WIDTH <= n bounds every access.
+                unsafe {
+                    let tv = $set1(v_th);
+                    let one = $set1(1.0);
+                    while j + $width <= n {
+                        let uv = $loadu(u.as_ptr().add(j));
+                        let mask = $cmpgt(uv, tv);
+                        $storeu(dst.as_mut_ptr().add(j), $and($cast(mask), one));
+                        j += $width;
+                    }
+                }
+                for jj in j..n {
+                    dst[jj] = if u[jj] > v_th { 1.0 } else { 0.0 };
+                }
+            }
+
+            /// `u[i] *= 1.0 - s[i]` — the literal multiply (an `inf`
+            /// membrane that spikes yields `NaN` exactly like scalar).
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $reset_zero(u: &mut [f32], s: &[f32]) {
+                let n = u.len().min(s.len());
+                let mut j = 0;
+                // SAFETY: j + WIDTH <= n bounds every access.
+                unsafe {
+                    let one = $set1(1.0);
+                    while j + $width <= n {
+                        let uv = $loadu(u.as_ptr().add(j));
+                        let sv = $loadu(s.as_ptr().add(j));
+                        $storeu(u.as_mut_ptr().add(j), $mul(uv, $sub(one, sv)));
+                        j += $width;
+                    }
+                }
+                for jj in j..n {
+                    u[jj] *= 1.0 - s[jj];
+                }
+            }
+
+            /// `u[i] -= v_th * s[i]`.
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $reset_sub(u: &mut [f32], s: &[f32], v_th: f32) {
+                let n = u.len().min(s.len());
+                let mut j = 0;
+                // SAFETY: j + WIDTH <= n bounds every access.
+                unsafe {
+                    let tv = $set1(v_th);
+                    while j + $width <= n {
+                        let uv = $loadu(u.as_ptr().add(j));
+                        let sv = $loadu(s.as_ptr().add(j));
+                        $storeu(u.as_mut_ptr().add(j), $sub(uv, $mul(tv, sv)));
+                        j += $width;
+                    }
+                }
+                for jj in j..n {
+                    u[jj] -= v_th * s[jj];
+                }
+            }
+
+            /// `dst[i] = g * (src[i] - mean) * inv_std + b` with scalar
+            /// left-to-right association.
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $bn(
+                dst: &mut [f32],
+                src: &[f32],
+                g: f32,
+                mean: f32,
+                inv_std: f32,
+                b: f32,
+            ) {
+                let n = dst.len().min(src.len());
+                let mut j = 0;
+                // SAFETY: j + WIDTH <= n bounds every access.
+                unsafe {
+                    let gv = $set1(g);
+                    let mv = $set1(mean);
+                    let iv = $set1(inv_std);
+                    let bv = $set1(b);
+                    while j + $width <= n {
+                        let xv = $loadu(src.as_ptr().add(j));
+                        let y = $add($mul($mul(gv, $sub(xv, mv)), iv), bv);
+                        $storeu(dst.as_mut_ptr().add(j), y);
+                        j += $width;
+                    }
+                }
+                for jj in j..n {
+                    dst[jj] = g * (src[jj] - mean) * inv_std + b;
+                }
+            }
+        };
+    }
+
+    lif_ops!(charge_avx2, heaviside_avx2, reset_zero_avx2, reset_sub_avx2, bn_avx2,
+        "avx2", 8, _mm256_set1_ps, _mm256_loadu_ps, _mm256_storeu_ps,
+        _mm256_add_ps, _mm256_sub_ps, _mm256_mul_ps,
+        |a, b| _mm256_cmp_ps::<_CMP_GT_OQ>(a, b), _mm256_and_ps, identity256);
+    lif_ops!(charge_sse2, heaviside_sse2, reset_zero_sse2, reset_sub_sse2, bn_sse2,
+        "sse2", 4, _mm_set1_ps, _mm_loadu_ps, _mm_storeu_ps,
+        _mm_add_ps, _mm_sub_ps, _mm_mul_ps,
+        |a, b| _mm_cmpgt_ps(a, b), _mm_and_ps, identity128);
+
+    #[inline(always)]
+    fn identity256(v: __m256) -> __m256 {
+        v
+    }
+
+    #[inline(always)]
+    fn identity128(v: __m128) -> __m128 {
+        v
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{
+    add_row_avx2, add_row_sse2, add_scaled_row_avx2, add_scaled_row_sse2, bn_avx2, bn_sse2,
+    charge_avx2, charge_sse2, heaviside_avx2, heaviside_sse2, nt_chunk_avx2, nt_chunk_sse2,
+    quant_dot_avx2, reset_sub_avx2, reset_sub_sse2, reset_zero_avx2, reset_zero_sse2,
+};
+
+/// One worker's row chunk of the `matmul_nt` kernel
+/// (`out[m,n] += a[m,k] × bᵀ[n,k]`, `b` stored `[n, k]`) over a
+/// **zero-filled** chunk `c` of `rows` output rows starting at `first_row`.
+/// The vector tiers pack `b` columns into a stack tile and keep eight (or
+/// four) independent column accumulators per register; the scalar tier is
+/// the straight-line dot the kernel has always run. All tiers accumulate
+/// each output element over `k` in ascending order with explicit
+/// mul-then-add, so results are bitwise identical.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the raw kernel signature
+pub fn matmul_nt_chunk(
+    a: &[f32],
+    k: usize,
+    first_row: usize,
+    rows: usize,
+    b: &[f32],
+    n: usize,
+    c: &mut [f32],
+    level: SimdLevel,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match level {
+            // SAFETY: level() caps at the detected capability.
+            SimdLevel::Avx2 => return unsafe { nt_chunk_avx2(a, k, first_row, rows, b, n, c) },
+            SimdLevel::Sse2 => return unsafe { nt_chunk_sse2(a, k, first_row, rows, b, n, c) },
+            SimdLevel::Scalar => {}
+        }
+    }
+    let _ = level;
+    for (local_i, crow) in c.chunks_mut(n).enumerate().take(rows) {
+        let i = first_row + local_i;
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+}
+
+/// Exact integer dot of a packed spike row (`words`, bit `p` set ⇔ input
+/// `p` active) against an `i8` code row of length `q.len()`: the sum of the
+/// active codes as `i32`. The AVX2 tier uses sign-extended widening
+/// multiplies; integer accumulation is associative, so the lane reduction
+/// returns the identical integer for every tier.
+#[inline]
+pub fn quant_dot(words: &[u64], q: &[i8], level: SimdLevel) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // The widening path needs AVX2; SSE2 falls back to the scalar scan.
+        if level == SimdLevel::Avx2 {
+            // SAFETY: level() caps at the detected capability.
+            return unsafe { quant_dot_avx2(words, q) };
+        }
+    }
+    let _ = level;
+    let mut acc = 0i32;
+    for (wi, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let p = wi * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            acc += i32::from(q[p]);
+        }
+    }
+    acc
+}
+
+// --------------------------------------------------------------------------
+// Elementwise layer ops (LIF / BatchNorm hot loops). These read the active
+// level internally — one atomic load amortized over a whole activation
+// buffer.
+// --------------------------------------------------------------------------
+
+/// Fused LIF charge `dst[i] = m[i] * tau + x[i]` (Eq. 2 with the membrane
+/// decay folded in) — explicit mul then add, bitwise identical to scalar.
+#[inline]
+pub fn lif_charge(dst: &mut [f32], m: &[f32], tau: f32, x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match level() {
+            // SAFETY: level() caps at the detected capability.
+            SimdLevel::Avx2 => return unsafe { charge_avx2(dst, m, tau, x) },
+            SimdLevel::Sse2 => return unsafe { charge_sse2(dst, m, tau, x) },
+            SimdLevel::Scalar => {}
+        }
+    }
+    for ((o, &mv), &xv) in dst.iter_mut().zip(m).zip(x) {
+        *o = mv * tau + xv;
+    }
+}
+
+/// Heaviside spike `dst[i] = if u[i] > v_th { 1.0 } else { 0.0 }`.
+#[inline]
+pub fn lif_heaviside(dst: &mut [f32], u: &[f32], v_th: f32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match level() {
+            // SAFETY: level() caps at the detected capability.
+            SimdLevel::Avx2 => return unsafe { heaviside_avx2(dst, u, v_th) },
+            SimdLevel::Sse2 => return unsafe { heaviside_sse2(dst, u, v_th) },
+            SimdLevel::Scalar => {}
+        }
+    }
+    for (o, &uv) in dst.iter_mut().zip(u) {
+        *o = if uv > v_th { 1.0 } else { 0.0 };
+    }
+}
+
+/// Hard reset `u[i] *= 1.0 - s[i]` (the literal multiply — see module docs).
+#[inline]
+pub fn lif_reset_zero(u: &mut [f32], s: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match level() {
+            // SAFETY: level() caps at the detected capability.
+            SimdLevel::Avx2 => return unsafe { reset_zero_avx2(u, s) },
+            SimdLevel::Sse2 => return unsafe { reset_zero_sse2(u, s) },
+            SimdLevel::Scalar => {}
+        }
+    }
+    for (uv, &sv) in u.iter_mut().zip(s) {
+        *uv *= 1.0 - sv;
+    }
+}
+
+/// Soft reset `u[i] -= v_th * s[i]`.
+#[inline]
+pub fn lif_reset_subtract(u: &mut [f32], s: &[f32], v_th: f32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match level() {
+            // SAFETY: level() caps at the detected capability.
+            SimdLevel::Avx2 => return unsafe { reset_sub_avx2(u, s, v_th) },
+            SimdLevel::Sse2 => return unsafe { reset_sub_sse2(u, s, v_th) },
+            SimdLevel::Scalar => {}
+        }
+    }
+    for (uv, &sv) in u.iter_mut().zip(s) {
+        *uv -= v_th * sv;
+    }
+}
+
+/// Eval-mode BatchNorm affine `dst[i] = g * (src[i] - mean) * inv_std + b`
+/// over one contiguous channel plane, scalar association preserved.
+#[inline]
+pub fn bn_affine(dst: &mut [f32], src: &[f32], g: f32, mean: f32, inv_std: f32, b: f32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match level() {
+            // SAFETY: level() caps at the detected capability.
+            SimdLevel::Avx2 => return unsafe { bn_avx2(dst, src, g, mean, inv_std, b) },
+            SimdLevel::Sse2 => return unsafe { bn_sse2(dst, src, g, mean, inv_std, b) },
+            SimdLevel::Scalar => {}
+        }
+    }
+    for (o, &xv) in dst.iter_mut().zip(src) {
+        *o = g * (xv - mean) * inv_std + b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+    use std::sync::Mutex;
+
+    // Tests that flip the process-wide level override serialize here so
+    // they cannot observe each other's override. Property tests that force
+    // thread counts as well take this lock first for a stable order.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn levels_to_test() -> Vec<SimdLevel> {
+        SimdLevel::ALL.iter().copied().filter(|&l| l <= detected()).collect()
+    }
+
+    fn randn(n: usize, rng: &mut TensorRng) -> Vec<f32> {
+        let mut v = vec![0.0f32; n];
+        rng.fill_normal(&mut v, 0.0, 1.0);
+        v
+    }
+
+    #[test]
+    fn parse_accepts_names_and_rejects_garbage() {
+        assert_eq!(parse_simd("auto"), Ok(None));
+        assert_eq!(parse_simd(""), Ok(None));
+        assert_eq!(parse_simd("off"), Ok(Some(SimdLevel::Scalar)));
+        assert_eq!(parse_simd(" Scalar "), Ok(Some(SimdLevel::Scalar)));
+        assert_eq!(parse_simd("none"), Ok(Some(SimdLevel::Scalar)));
+        assert_eq!(parse_simd("SSE2"), Ok(Some(SimdLevel::Sse2)));
+        assert_eq!(parse_simd("avx2"), Ok(Some(SimdLevel::Avx2)));
+        assert_eq!(parse_simd("avx512"), Err(()));
+        assert_eq!(parse_simd("fast"), Err(()));
+        assert_eq!(parse_simd("1"), Err(()));
+        assert_eq!(parse_simd("sse 2"), Err(()));
+    }
+
+    #[test]
+    fn override_guard_shadows_restores_and_caps() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        assert_eq!(set_level(None), None);
+        with_level(SimdLevel::Scalar, || {
+            assert_eq!(level(), SimdLevel::Scalar);
+            with_level(SimdLevel::Avx2, || {
+                // capped at the host capability, never above
+                assert_eq!(level(), SimdLevel::Avx2.min(detected()));
+            });
+            assert_eq!(level(), SimdLevel::Scalar);
+        });
+        assert_eq!(set_level(None), None);
+        // unforced dispatch never exceeds the detected capability; with no
+        // DTSNN_SIMD in the environment it is exactly the detected level
+        // (the env knob may lower the baseline — the CI simd stage runs
+        // this very suite under DTSNN_SIMD=off)
+        assert!(level() <= detected());
+        if std::env::var_os("DTSNN_SIMD").is_none() {
+            assert_eq!(level(), detected());
+        }
+    }
+
+    #[test]
+    fn level_names_are_stable() {
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+        assert_eq!(SimdLevel::Sse2.name(), "sse2");
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+        assert!(!cpu_features().is_empty());
+    }
+
+    #[test]
+    fn row_primitives_match_scalar_bitwise() {
+        let mut rng = TensorRng::seed_from(401);
+        // lengths straddle vector widths and tails, plus tricky values
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 64, 257] {
+            let b = randn(n, &mut rng);
+            let base = randn(n, &mut rng);
+            for &a in &[0.0f32, 1.0, -0.37, 1e-30] {
+                for lvl in levels_to_test() {
+                    let mut want = base.clone();
+                    for (cv, &bv) in want.iter_mut().zip(&b) {
+                        *cv += a * bv;
+                    }
+                    let mut got = base.clone();
+                    add_scaled_row(&mut got, a, &b, lvl);
+                    assert_eq!(
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "add_scaled_row n={n} a={a} {lvl:?}"
+                    );
+
+                    let mut want = base.clone();
+                    for (cv, &bv) in want.iter_mut().zip(&b) {
+                        *cv += bv;
+                    }
+                    let mut got = base.clone();
+                    add_row(&mut got, &b, lvl);
+                    assert_eq!(
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "add_row n={n} {lvl:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nt_chunk_matches_scalar_bitwise() {
+        let mut rng = TensorRng::seed_from(402);
+        // shapes straddle the j-tile width and the k-tile depth
+        for (m, k, n) in [(1, 5, 3), (3, 40, 17), (2, 200, 8), (5, 300, 21), (4, 64, 16)] {
+            let a = randn(m * k, &mut rng);
+            let b = randn(n * k, &mut rng);
+            let mut want = vec![0.0f32; m * n];
+            matmul_nt_chunk(&a, k, 0, m, &b, n, &mut want, SimdLevel::Scalar);
+            for lvl in levels_to_test() {
+                let mut got = vec![0.0f32; m * n];
+                matmul_nt_chunk(&a, k, 0, m, &b, n, &mut got, lvl);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "nt m={m} k={k} n={n} {lvl:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quant_dot_matches_scalar_exactly() {
+        let mut rng = TensorRng::seed_from(403);
+        for k in [1usize, 63, 64, 65, 128, 200, 400] {
+            let words_len = k.div_ceil(64);
+            for density in [0.0f32, 0.1, 0.5, 1.0] {
+                let mut words = vec![0u64; words_len];
+                for p in 0..k {
+                    if rng.bernoulli(density) {
+                        words[p / 64] |= 1 << (p % 64);
+                    }
+                }
+                let q: Vec<i8> =
+                    (0..k).map(|_| (rng.uniform(-128.0, 128.0) as i32).clamp(-128, 127) as i8).collect();
+                let want = quant_dot(&words, &q, SimdLevel::Scalar);
+                for lvl in levels_to_test() {
+                    assert_eq!(want, quant_dot(&words, &q, lvl), "k={k} d={density} {lvl:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops_match_scalar_bitwise_including_nonfinite() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let mut rng = TensorRng::seed_from(404);
+        for n in [1usize, 7, 8, 9, 100] {
+            let mut u = randn(n, &mut rng);
+            // seed non-finite membranes: the reset must reproduce scalar
+            // inf·0 → NaN behavior, not mask it away
+            if n > 2 {
+                u[0] = f32::INFINITY;
+                u[1] = f32::NAN;
+            }
+            let m = randn(n, &mut rng);
+            let x = randn(n, &mut rng);
+            let spikes: Vec<f32> =
+                (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+
+            let scalar = with_level(SimdLevel::Scalar, || {
+                let mut charge = vec![0.0f32; n];
+                lif_charge(&mut charge, &m, 0.5, &x);
+                let mut spk = vec![0.0f32; n];
+                lif_heaviside(&mut spk, &u, 1.0);
+                let mut rz = u.clone();
+                lif_reset_zero(&mut rz, &spikes);
+                let mut rs = u.clone();
+                lif_reset_subtract(&mut rs, &spikes, 1.0);
+                let mut bn = vec![0.0f32; n];
+                bn_affine(&mut bn, &x, 1.3, -0.2, 0.9, 0.1);
+                (charge, spk, rz, rs, bn)
+            });
+            for lvl in levels_to_test() {
+                let vec = with_level(lvl, || {
+                    let mut charge = vec![0.0f32; n];
+                    lif_charge(&mut charge, &m, 0.5, &x);
+                    let mut spk = vec![0.0f32; n];
+                    lif_heaviside(&mut spk, &u, 1.0);
+                    let mut rz = u.clone();
+                    lif_reset_zero(&mut rz, &spikes);
+                    let mut rs = u.clone();
+                    lif_reset_subtract(&mut rs, &spikes, 1.0);
+                    let mut bn = vec![0.0f32; n];
+                    bn_affine(&mut bn, &x, 1.3, -0.2, 0.9, 0.1);
+                    (charge, spk, rz, rs, bn)
+                });
+                for (name, s, v) in [
+                    ("charge", &scalar.0, &vec.0),
+                    ("heaviside", &scalar.1, &vec.1),
+                    ("reset_zero", &scalar.2, &vec.2),
+                    ("reset_sub", &scalar.3, &vec.3),
+                    ("bn", &scalar.4, &vec.4),
+                ] {
+                    assert_eq!(
+                        s.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        v.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{name} n={n} {lvl:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_families_match_scalar_bitwise_across_thread_counts() {
+        // The satellite property test: dense (mm/tn/nt), bitset, CSR and
+        // quantized public entry points, forced-scalar vs each vector tier,
+        // at 1 and 4 workers — all compared to_bits.
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let mut rng = TensorRng::seed_from(405);
+        let a = crate::Tensor::randn(&[13, 150], 0.0, 1.0, &mut rng);
+        let b = crate::Tensor::randn(&[150, 37], 0.0, 1.0, &mut rng);
+        let bt = crate::Tensor::randn(&[37, 150], 0.0, 1.0, &mut rng);
+        let mut spikes = crate::Tensor::zeros(&[13, 150]);
+        for v in spikes.data_mut().iter_mut() {
+            if rng.bernoulli(0.2) {
+                *v = 1.0;
+            }
+        }
+        let qw = crate::QuantizedWeights::from_tensor(&bt, 8).unwrap();
+        let run = || {
+            let mm = a.matmul(&b).unwrap();
+            let tn = b.matmul_tn(&bt.transpose2d().unwrap()).unwrap();
+            let nt = a.matmul_nt(&bt).unwrap();
+            let sp_mm = spikes.matmul(&b).unwrap(); // bitset path (binary, sparse)
+            let sp_nt = spikes.matmul_nt(&bt).unwrap();
+            let q = qw.matmul_nt(&spikes).unwrap();
+            [mm, tn, nt, sp_mm, sp_nt, q]
+                .iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        for threads in [1usize, 4] {
+            let want = crate::parallel::with_threads(threads, || {
+                with_level(SimdLevel::Scalar, run)
+            });
+            for lvl in levels_to_test() {
+                let got = crate::parallel::with_threads(threads, || with_level(lvl, run));
+                assert_eq!(want, got, "threads={threads} {lvl:?}");
+            }
+        }
+    }
+}

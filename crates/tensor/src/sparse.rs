@@ -31,7 +31,7 @@
 //! the two paths agree bitwise, flipping the knob concurrently cannot change
 //! any numeric output.
 
-use crate::{parallel, Conv2dSpec, Result, Tensor, TensorError};
+use crate::{parallel, simd, Conv2dSpec, Result, Tensor, TensorError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -333,23 +333,22 @@ impl SpikeMatrix {
             return;
         }
         let work = self.nnz().saturating_mul(n);
+        let lvl = simd::level();
         parallel::for_each_row_chunk(out, n, self.rows, work, |first_row, c| {
             for (local_i, crow) in c.chunks_mut(n).enumerate() {
                 let i = first_row + local_i;
                 let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+                // the gather over irregular `p` stays scalar; the contiguous
+                // dense-row accumulate per active entry is vectorized
                 if self.binary {
                     for &p in &self.idx[lo..hi] {
                         let brow = &b[p as usize * n..p as usize * n + n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += bv;
-                        }
+                        simd::add_row(crow, brow, lvl);
                     }
                 } else {
                     for (&p, &av) in self.idx[lo..hi].iter().zip(&self.val[lo..hi]) {
                         let brow = &b[p as usize * n..p as usize * n + n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
+                        simd::add_scaled_row(crow, av, brow, lvl);
                     }
                 }
             }

@@ -1,10 +1,12 @@
-use crate::{Result, Shape, TensorError, TensorRng};
+use crate::{AlignedVec, Result, Shape, TensorError, TensorRng};
 
 /// An owned, contiguous, row-major `f32` tensor.
 ///
 /// [`Tensor`] is the single data container used by every crate in the
 /// workspace: images are `NCHW`, weight matrices are `[rows, cols]`, spike
-/// trains are `NCHW` per timestep.
+/// trains are `NCHW` per timestep. The buffer is an [`AlignedVec`], so the
+/// data always starts on a 64-byte (cache-line) boundary for the SIMD
+/// kernel tier.
 ///
 /// # Example
 ///
@@ -21,7 +23,7 @@ use crate::{Result, Shape, TensorError, TensorRng};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: AlignedVec,
 }
 
 impl Tensor {
@@ -34,6 +36,18 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] when `data.len()` disagrees
     /// with the shape's element count.
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        Tensor::from_aligned(AlignedVec::from(data), dims)
+    }
+
+    /// Creates a tensor from an already-aligned buffer and a shape — the
+    /// move-not-copy path the [`crate::Workspace`] arena uses to turn a
+    /// recycled buffer back into a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` disagrees
+    /// with the shape's element count.
+    pub fn from_aligned(data: AlignedVec, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.len() {
             return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
@@ -45,7 +59,7 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.len();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor { shape, data: AlignedVec::zeroed(n) }
     }
 
     /// All-ones tensor of the given shape.
@@ -57,7 +71,9 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.len();
-        Tensor { shape, data: vec![value; n] }
+        let mut data = AlignedVec::with_capacity(n);
+        data.resize(n, value);
+        Tensor { shape, data }
     }
 
     /// Square identity matrix of extent `n`.
@@ -122,8 +138,15 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its buffer.
+    /// Consumes the tensor, returning its buffer as a plain `Vec` (copies;
+    /// prefer [`Tensor::into_aligned`] to keep the allocation).
     pub fn into_vec(self) -> Vec<f32> {
+        self.data.to_vec()
+    }
+
+    /// Consumes the tensor, returning its aligned buffer without copying —
+    /// the counterpart of [`Tensor::from_aligned`] for arena recycling.
+    pub fn into_aligned(self) -> AlignedVec {
         self.data
     }
 
@@ -195,7 +218,10 @@ impl Tensor {
         if i >= r {
             return Err(TensorError::InvalidArgument(format!("row {i} out of range ({r} rows)")));
         }
-        Ok(Tensor { shape: Shape::new(&[c]), data: self.data[i * c..(i + 1) * c].to_vec() })
+        Ok(Tensor {
+            shape: Shape::new(&[c]),
+            data: AlignedVec::from_slice(&self.data[i * c..(i + 1) * c]),
+        })
     }
 
     /// Concatenates rank-equal tensors along axis 0.
@@ -221,11 +247,11 @@ impl Tensor {
         }
         let mut dims = vec![rows];
         dims.extend_from_slice(tail);
-        let mut data = Vec::with_capacity(Shape::new(&dims).len());
+        let mut data = AlignedVec::with_capacity(Shape::new(&dims).len());
         for p in parts {
             data.extend_from_slice(p.data());
         }
-        Tensor::from_vec(data, &dims)
+        Tensor::from_aligned(data, &dims)
     }
 
     /// Gathers the given axis-0 rows into a new tensor (`out[k] = self[rows[k]]`).
@@ -245,7 +271,7 @@ impl Tensor {
         }
         let n = self.shape.dim(0);
         let stride: usize = self.dims()[1..].iter().product();
-        let mut data = Vec::with_capacity(rows.len() * stride);
+        let mut data = AlignedVec::with_capacity(rows.len() * stride);
         for &r in rows {
             if r >= n {
                 return Err(TensorError::InvalidArgument(format!(
@@ -256,7 +282,7 @@ impl Tensor {
         }
         let mut dims = vec![rows.len()];
         dims.extend_from_slice(&self.dims()[1..]);
-        Tensor::from_vec(data, &dims)
+        Tensor::from_aligned(data, &dims)
     }
 
     // ---------------------------------------------------------- elementwise
@@ -268,7 +294,7 @@ impl Tensor {
 
     /// Applies `f` in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data.iter_mut() {
             *v = f(*v);
         }
     }

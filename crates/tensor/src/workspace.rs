@@ -24,8 +24,11 @@
 //!   capped so unrecycled traffic cannot grow it without bound.
 //! - Contents of recycled buffers are dead immediately; the arena clears
 //!   them on the next `take`.
+//! - Every buffer is an [`AlignedVec`]: arena data starts on a 64-byte
+//!   boundary and stays aligned across recycling, so the SIMD kernels see
+//!   cache-line-aligned rows for the life of the loop.
 
-use crate::{BitMatrix, SpikeMatrix, Tensor};
+use crate::{AlignedVec, BitMatrix, SpikeMatrix, Tensor};
 
 /// Freelist cap: more parked buffers than this and the oldest is dropped.
 /// A full VGG/ResNet eval pass keeps well under this many live scratch
@@ -49,7 +52,7 @@ pub struct WorkspaceStats {
 /// Scratch-buffer arena threaded through the Eval-mode forward pass.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    free: Vec<Vec<f32>>,
+    free: Vec<AlignedVec>,
     spike: SpikeMatrix,
     bits: BitMatrix,
     takes: u64,
@@ -65,7 +68,7 @@ impl Workspace {
     /// Hands out a zero-filled buffer of exactly `len` elements, reusing
     /// the best-fitting parked buffer (smallest sufficient capacity) when
     /// one exists.
-    pub fn take(&mut self, len: usize) -> Vec<f32> {
+    pub fn take(&mut self, len: usize) -> AlignedVec {
         self.takes += 1;
         let mut best: Option<(usize, usize)> = None; // (slot, capacity)
         for (slot, buf) in self.free.iter().enumerate() {
@@ -83,7 +86,7 @@ impl Workspace {
             }
             None => {
                 self.misses += 1;
-                vec![0.0; len]
+                AlignedVec::zeroed(len)
             }
         }
     }
@@ -92,12 +95,12 @@ impl Workspace {
     /// arena buffer.
     pub fn take_tensor(&mut self, dims: &[usize]) -> Tensor {
         let len = dims.iter().product();
-        Tensor::from_vec(self.take(len), dims).expect("take(len) matches the shape")
+        Tensor::from_aligned(self.take(len), dims).expect("take(len) matches the shape")
     }
 
     /// Parks a buffer for reuse. Beyond the freelist cap the smallest
     /// parked buffer is dropped, keeping the most useful capacities.
-    pub fn recycle(&mut self, buf: Vec<f32>) {
+    pub fn recycle(&mut self, buf: AlignedVec) {
         if buf.capacity() == 0 {
             return;
         }
@@ -116,7 +119,7 @@ impl Workspace {
 
     /// Parks a tensor's backing buffer for reuse.
     pub fn recycle_tensor(&mut self, t: Tensor) {
-        self.recycle(t.into_vec());
+        self.recycle(t.into_aligned());
     }
 
     /// Borrows the arena's [`SpikeMatrix`] scratch (moved out so the caller
@@ -169,11 +172,11 @@ mod tests {
         buf.iter_mut().for_each(|v| *v = 7.0);
         ws.recycle(buf);
         let again = ws.take(8);
-        assert_eq!(again, vec![0.0; 8]);
+        assert_eq!(&again[..], &[0.0; 8]);
         ws.recycle(again);
         // shrinking reuse also re-zeroes
         let small = ws.take(3);
-        assert_eq!(small, vec![0.0; 3]);
+        assert_eq!(&small[..], &[0.0; 3]);
     }
 
     #[test]
@@ -201,8 +204,8 @@ mod tests {
     #[test]
     fn best_fit_prefers_smallest_sufficient_buffer() {
         let mut ws = Workspace::new();
-        ws.recycle(Vec::with_capacity(100));
-        ws.recycle(Vec::with_capacity(10));
+        ws.recycle(AlignedVec::with_capacity(100));
+        ws.recycle(AlignedVec::with_capacity(10));
         let b = ws.take(8);
         assert!(b.capacity() < 100, "should reuse the 10-cap buffer");
         ws.reset_stats();
@@ -215,7 +218,7 @@ mod tests {
     fn freelist_is_capped() {
         let mut ws = Workspace::new();
         for i in 0..(MAX_FREE + 10) {
-            ws.recycle(Vec::with_capacity(i + 1));
+            ws.recycle(AlignedVec::with_capacity(i + 1));
         }
         assert!(ws.free.len() <= MAX_FREE);
     }
@@ -226,30 +229,32 @@ mod tests {
         // the boundary behaviors: best-fit `take` with a full list, eviction
         // of the smallest buffer when recycling past the cap, and an honest
         // miss when no parked buffer is large enough.
+        // capacities are multiples of the 16-float lane so the parked
+        // sizes are exact (AlignedVec rounds capacity up to whole lanes)
         let mut ws = Workspace::new();
         for i in 1..=MAX_FREE {
-            ws.recycle(Vec::with_capacity(8 * i));
+            ws.recycle(AlignedVec::with_capacity(16 * i));
         }
         assert_eq!(ws.free.len(), MAX_FREE);
         ws.reset_stats();
 
         // best-fit with a full freelist: smallest sufficient capacity wins
-        let buf = ws.take(60); // fits the 64-cap buffer, not 56
+        let buf = ws.take(60); // fits the 64-cap buffer, not 48
         assert_eq!(ws.stats().misses, 0);
         assert!(buf.capacity() >= 60 && buf.capacity() < 72, "cap={}", buf.capacity());
         ws.recycle(buf); // back to exactly MAX_FREE parked buffers
         assert_eq!(ws.free.len(), MAX_FREE);
 
         // recycling one more evicts the smallest parked buffer, not the new one
-        ws.recycle(Vec::with_capacity(8 * (MAX_FREE + 1)));
+        ws.recycle(AlignedVec::with_capacity(16 * (MAX_FREE + 1)));
         assert_eq!(ws.free.len(), MAX_FREE);
-        let min_cap = ws.free.iter().map(Vec::capacity).min().unwrap();
-        assert!(min_cap >= 16, "smallest (8) must be evicted, min now {min_cap}");
+        let min_cap = ws.free.iter().map(AlignedVec::capacity).min().unwrap();
+        assert!(min_cap >= 32, "smallest (16) must be evicted, min now {min_cap}");
 
         // a request larger than every parked buffer is an honest miss even
         // under full-freelist pressure
         ws.reset_stats();
-        let huge = ws.take(8 * (MAX_FREE + 2));
+        let huge = ws.take(16 * (MAX_FREE + 2));
         assert_eq!(ws.stats(), WorkspaceStats { takes: 1, misses: 1 });
         ws.recycle(huge);
         assert_eq!(ws.free.len(), MAX_FREE);
@@ -269,10 +274,10 @@ mod tests {
         // fill the freelist to its cap; the largest entries are the warmed
         // max-width buffers the serving loop parked
         for i in 1..=(MAX_FREE - 2) {
-            ws.recycle(Vec::with_capacity(i));
+            ws.recycle(AlignedVec::with_capacity(i));
         }
-        ws.recycle(Vec::with_capacity(row * max_width));
-        ws.recycle(Vec::with_capacity(row * max_width));
+        ws.recycle(AlignedVec::with_capacity(row * max_width));
+        ws.recycle(AlignedVec::with_capacity(row * max_width));
         assert_eq!(ws.free.len(), MAX_FREE);
         ws.reset_stats();
 
@@ -324,6 +329,27 @@ mod tests {
         let sm = ws.take_spike();
         assert_eq!(sm.nnz(), 2);
         ws.recycle_spike(sm);
+    }
+
+    #[test]
+    fn arena_buffers_stay_64_byte_aligned_across_recycling() {
+        // The SIMD-tier satellite invariant: fresh takes, recycled reuse
+        // (including shrink/grow reuse) and tensor round-trips all hand
+        // back data on a cache-line boundary.
+        let mut ws = Workspace::new();
+        for len in [1usize, 8, 100, 513] {
+            let buf = ws.take(len);
+            assert_eq!(buf.as_slice().as_ptr() as usize % 64, 0, "fresh take({len})");
+            ws.recycle(buf);
+            let again = ws.take(len / 2 + 1);
+            assert_eq!(again.as_slice().as_ptr() as usize % 64, 0, "reuse({len})");
+            ws.recycle(again);
+        }
+        let t = ws.take_tensor(&[3, 17]);
+        assert_eq!(t.data().as_ptr() as usize % 64, 0, "take_tensor");
+        ws.recycle_tensor(t);
+        let t2 = ws.take_tensor(&[3, 17]);
+        assert_eq!(t2.data().as_ptr() as usize % 64, 0, "recycled tensor");
     }
 
     #[test]

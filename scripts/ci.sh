@@ -119,6 +119,25 @@ done
 echo "== chaos stage: fault-intensity smoke sweep =="
 DTSNN_CHAOS_SMOKE=1 cargo run --release -q -p dtsnn-bench --bin serving_chaos
 
+# SIMD stage: the runtime-dispatched vector tier. The unit property suite
+# pins every kernel family (dense/bitset/quant/LIF/BN) bitwise against the
+# scalar oracle; then golden replay and the fuzz smoke (which runs fuzz
+# oracle 13, whole forward passes forced-scalar vs vectorized) are repeated
+# with the dispatcher forced off and on auto at both ambient worker counts
+# — the committed numerics must be reachable from either tier with no
+# re-bless. The speedup bench asserts the ≥1.5× dense matmul_nt floor
+# in-bin and records cpu_features next to host_cores in its JSON.
+for threads in 1 4; do
+    for simd in off auto; do
+        echo "== simd stage: golden replay + fuzz smoke (DTSNN_SIMD=$simd DTSNN_THREADS=$threads) =="
+        DTSNN_SIMD=$simd DTSNN_THREADS=$threads cargo test -q -p dtsnn-tensor simd
+        DTSNN_SIMD=$simd DTSNN_THREADS=$threads cargo test -q -p dtsnn-conformance --test golden_replay
+        DTSNN_SIMD=$simd DTSNN_THREADS=$threads cargo test -q -p dtsnn-conformance --test fuzz_smoke
+    done
+done
+echo "== simd stage: speedup floor =="
+cargo run --release -q -p dtsnn-bench --bin ext_simd_speedup
+
 # Simulator stage: the event-driven multi-tile model and the mapping
 # search. The integration suite pins (a) bitwise parity between the event
 # model (pipelining + contention off) and the analytical ledger — fuzz
